@@ -1,0 +1,39 @@
+//! Criterion benches for the merging-order ablation (Ch. V.F enhancement
+//! 1): simultaneous multi-merging exists to cut runtime; measure it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use astdme_core::{AstDme, ClockRouter, MergeOrder, TopoConfig};
+use astdme_instances::{partition, r_benchmark, RBench};
+
+fn bench_merge_order(c: &mut Criterion) {
+    let placement = r_benchmark(RBench::R1, 2006);
+    let inst = partition::intermingled(&placement, 6, 2012).expect("valid");
+
+    let mut g = c.benchmark_group("merge_order_r1");
+    g.sample_size(10);
+    g.bench_function("greedy_single_pair", |b| {
+        b.iter(|| {
+            AstDme::new()
+                .with_topo(TopoConfig::greedy())
+                .route(black_box(&inst))
+                .unwrap()
+        })
+    });
+    g.bench_function("multi_merge_25pct", |b| {
+        b.iter(|| {
+            AstDme::new()
+                .with_topo(TopoConfig {
+                    order: MergeOrder::MultiMerge { fraction: 0.25 },
+                    delay_weight: 0.0,
+                })
+                .route(black_box(&inst))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge_order);
+criterion_main!(benches);

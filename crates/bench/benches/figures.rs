@@ -1,0 +1,95 @@
+//! Criterion benches for the figure reproductions: the toy scenarios of
+//! Figs. 1, 2 and 5 (see the corresponding binaries for the actual
+//! wirelength/skew numbers — these measure their routing cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use astdme_core::{
+    AstDme, ClockRouter, EngineConfig, ExtBst, GreedyDme, Groups, Instance, MergeForest, Point,
+    RcParams, Sink, StitchPerGroup,
+};
+
+fn fig1_instance() -> Instance {
+    Instance::new(
+        vec![
+            Sink::new(Point::new(0.0, 0.0), 4e-14),
+            Sink::new(Point::new(3000.0, 1000.0), 1e-14),
+            Sink::new(Point::new(7000.0, 0.0), 5e-14),
+            Sink::new(Point::new(10000.0, 2000.0), 1e-14),
+        ],
+        Groups::single(4).expect("4 sinks"),
+        RcParams::default(),
+        Point::new(5000.0, 6000.0),
+    )
+    .expect("valid")
+}
+
+fn fig2_instance() -> Instance {
+    Instance::new(
+        vec![
+            Sink::new(Point::new(0.0, 0.0), 2e-14),
+            Sink::new(Point::new(1000.0, 0.0), 2e-14),
+            Sink::new(Point::new(2000.0, 0.0), 2e-14),
+            Sink::new(Point::new(3000.0, 0.0), 2e-14),
+        ],
+        Groups::from_assignments(vec![0, 1, 0, 1], 2).expect("valid"),
+        RcParams::default(),
+        Point::new(1500.0, 1500.0),
+    )
+    .expect("valid")
+}
+
+fn fig5_instance() -> Instance {
+    Instance::new(
+        vec![
+            Sink::new(Point::new(0.0, 0.0), 1e-14),
+            Sink::new(Point::new(1200.0, 0.0), 4e-14),
+            Sink::new(Point::new(5000.0, 300.0), 5e-14),
+            Sink::new(Point::new(6400.0, 0.0), 1e-14),
+        ],
+        Groups::from_assignments(vec![0, 1, 0, 1], 2).expect("valid"),
+        RcParams::default(),
+        Point::new(3200.0, 4000.0),
+    )
+    .expect("valid")
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let f1 = fig1_instance();
+    let f2 = fig2_instance();
+    let f5 = fig5_instance();
+
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig1_zero_skew_dme", |b| {
+        b.iter(|| GreedyDme::new().route(black_box(&f1)).unwrap())
+    });
+    g.bench_function("fig1_bounded_skew_bst", |b| {
+        b.iter(|| ExtBst::new(5e-13).route(black_box(&f1)).unwrap())
+    });
+    g.bench_function("fig2_stitch_per_group", |b| {
+        b.iter(|| StitchPerGroup::new().route(black_box(&f2)).unwrap())
+    });
+    g.bench_function("fig2_ast_dme", |b| {
+        b.iter(|| AstDme::new().route(black_box(&f2)).unwrap())
+    });
+    g.bench_function("fig5_instance2_sneaking", |b| {
+        b.iter(|| {
+            // The figure's explicit merge order through the engine.
+            let cfg = EngineConfig {
+                fuse_groups: false,
+                ..EngineConfig::default()
+            };
+            let mut forest = MergeForest::for_instance(black_box(&f5), cfg);
+            let leaves = forest.leaves();
+            let c1 = forest.merge(leaves[0], leaves[1]);
+            let c2 = forest.merge(leaves[2], leaves[3]);
+            let root = forest.merge(c1, c2);
+            forest.embed(root, f5.source())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the table experiments: routing runtime of
+//! AST-DME and EXT-BST on the smallest circuit (r1) in both partition
+//! regimes — the CPU column of Tables I and II at bench precision.
+//!
+//! The full tables (all circuits, wirelength/skew columns) are produced by
+//! the `table1` / `table2` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use astdme_bench::PAPER_BOUND;
+use astdme_core::{AstDme, ClockRouter, ExtBst};
+use astdme_instances::{partition, r_benchmark, RBench};
+
+fn bench_tables(c: &mut Criterion) {
+    let placement = r_benchmark(RBench::R1, 2006);
+    let single = partition::single(&placement).expect("valid");
+    let clustered = partition::clustered(&placement, 6, 0)
+        .and_then(|i| {
+            i.with_groups(i.groups().clone().with_uniform_bound(PAPER_BOUND)?)
+        })
+        .expect("valid");
+    let intermingled = partition::intermingled(&placement, 6, 2012)
+        .and_then(|i| {
+            i.with_groups(i.groups().clone().with_uniform_bound(PAPER_BOUND)?)
+        })
+        .expect("valid");
+
+    let mut g = c.benchmark_group("tables_r1");
+    g.sample_size(10);
+    g.bench_function("ext_bst_baseline", |b| {
+        b.iter(|| ExtBst::new(PAPER_BOUND).route(black_box(&single)).unwrap())
+    });
+    g.bench_function("ast_dme_clustered_k6_table1", |b| {
+        b.iter(|| AstDme::new().route(black_box(&clustered)).unwrap())
+    });
+    g.bench_function("ast_dme_intermingled_k6_table2", |b| {
+        b.iter(|| AstDme::new().route(black_box(&intermingled)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates **Table I** of the paper: AST-DME vs EXT-BST with
+//! *clustered* sink groups on r1–r5.
+//!
+//! Usage: `cargo run -p astdme-bench --release --bin table1 [--quick] [--json]`
+
+use astdme_bench::{circuits, flags, run_table, to_json, to_markdown, PartitionMode};
+
+fn main() {
+    let (quick, json) = flags();
+    let rows = run_table(PartitionMode::Clustered, &circuits(quick), 2006);
+    if json {
+        println!("{}", to_json(&rows));
+    } else {
+        println!("Table I — clustered sink groups (paper: 2.05%-3.62% reduction)\n");
+        println!("{}", to_markdown(&rows));
+    }
+}

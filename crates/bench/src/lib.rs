@@ -1,0 +1,240 @@
+//! Benchmark harness regenerating every table and figure of Kim (2006).
+//!
+//! The binaries (`table1`, `table2`, `fig1`, `fig2`, `fig5`, `ablation`)
+//! print the corresponding experiment as a markdown table; the Criterion
+//! benches (`tables`, `figures`, `ablation`) measure the runtimes. This
+//! library holds the shared experiment runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use astdme_core::{audit, AstDme, ClockRouter, DelayModel, ExtBst, Instance};
+use astdme_instances::{partition, r_benchmark, Placement, RBench};
+
+/// The global / intra-group skew bound used throughout the paper's
+/// evaluation (10 ps).
+pub const PAPER_BOUND: f64 = 10e-12;
+
+/// Group counts evaluated per circuit in Tables I and II.
+pub const GROUP_COUNTS: [usize; 4] = [4, 6, 8, 10];
+
+/// One row of Table I / Table II.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name (`r1` … `r5`).
+    pub circuit: String,
+    /// Number of sinks.
+    pub sinks: usize,
+    /// Number of sink groups (1 for the EXT-BST baseline row).
+    pub groups: usize,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Total routed wirelength (µm).
+    pub wirelength: f64,
+    /// Reduction vs. the circuit's EXT-BST baseline (fraction; negative
+    /// means more wire).
+    pub reduction: f64,
+    /// Maximum skew over all sink pairs, in ps (the paper's by-product
+    /// inter-group offsets for AST rows).
+    pub max_skew_ps: f64,
+    /// Wall-clock routing time in seconds.
+    pub cpu_s: f64,
+}
+
+/// Which partitioner a table uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Rectangle-box clusters (Table I).
+    Clustered,
+    /// Random intermingled assignment (Table II).
+    Intermingled,
+}
+
+impl PartitionMode {
+    fn apply(self, p: &Placement, k: usize, seed: u64) -> Instance {
+        match self {
+            PartitionMode::Clustered => partition::clustered(p, k, seed),
+            PartitionMode::Intermingled => partition::intermingled(p, k, seed),
+        }
+        .expect("synthetic partitions are valid")
+    }
+}
+
+/// Runs one circuit of a table: the EXT-BST baseline followed by AST-DME
+/// at each group count, all over the same placement.
+///
+/// Following the paper's comparison, both algorithms operate at the same
+/// 10 ps bound — EXT-BST globally, AST-DME per group (with inter-group
+/// skew unconstrained).
+pub fn run_circuit(bench: RBench, mode: PartitionMode, seed: u64) -> Vec<Row> {
+    let placement = r_benchmark(bench, seed);
+    let model = DelayModel::elmore(placement.rc);
+    let mut rows = Vec::new();
+
+    let single = partition::single(&placement).expect("single partition valid");
+    let t0 = Instant::now();
+    let tree = ExtBst::new(PAPER_BOUND)
+        .route(&single)
+        .expect("EXT-BST routes the baseline");
+    let cpu = t0.elapsed().as_secs_f64();
+    let report = audit(&tree, &single, &model);
+    let baseline = report.wirelength();
+    rows.push(Row {
+        circuit: placement.name.clone(),
+        sinks: placement.sinks.len(),
+        groups: 1,
+        algorithm: "EXT-BST".to_string(),
+        wirelength: baseline,
+        reduction: 0.0,
+        max_skew_ps: report.global_skew() * 1e12,
+        cpu_s: cpu,
+    });
+
+    for &k in &GROUP_COUNTS {
+        let inst = mode.apply(&placement, k, seed.wrapping_add(k as u64));
+        let inst = inst
+            .with_groups(
+                inst.groups()
+                    .clone()
+                    .with_uniform_bound(PAPER_BOUND)
+                    .expect("bound is valid"),
+            )
+            .expect("regrouping is valid");
+        let t0 = Instant::now();
+        let tree = AstDme::new().route(&inst).expect("AST-DME routes");
+        let cpu = t0.elapsed().as_secs_f64();
+        let report = audit(&tree, &inst, &model);
+        assert!(
+            report.max_intra_group_skew() <= PAPER_BOUND * (1.0 + 1e-6),
+            "intra-group constraint violated: {}",
+            report.max_intra_group_skew()
+        );
+        rows.push(Row {
+            circuit: placement.name.clone(),
+            sinks: placement.sinks.len(),
+            groups: k,
+            algorithm: "AST-DME".to_string(),
+            wirelength: report.wirelength(),
+            reduction: 1.0 - report.wirelength() / baseline,
+            max_skew_ps: report.global_skew() * 1e12,
+            cpu_s: cpu,
+        });
+    }
+    rows
+}
+
+/// Runs a full table over the given circuits.
+pub fn run_table(mode: PartitionMode, benches: &[RBench], seed: u64) -> Vec<Row> {
+    benches
+        .iter()
+        .flat_map(|&b| run_circuit(b, mode, seed))
+        .collect()
+}
+
+/// Formats rows in the layout of the paper's tables (markdown).
+pub fn to_markdown(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "| Circuit | #groups | Algorithm | Wirelen (um) | Reduction | Max skew (ps) | CPU (s) |\n\
+         |---------|---------|-----------|--------------|-----------|---------------|---------|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} ({} sinks) | {} | {} | {:.0} | {} | {:.1} | {:.2} |\n",
+            r.circuit,
+            r.sinks,
+            r.groups,
+            r.algorithm,
+            r.wirelength,
+            if r.algorithm == "EXT-BST" {
+                "—".to_string()
+            } else {
+                format!("{:.2}%", r.reduction * 100.0)
+            },
+            r.max_skew_ps,
+            r.cpu_s
+        ));
+    }
+    out
+}
+
+/// Serializes rows as a JSON array for machine consumption.
+pub fn to_json(rows: &[Row]) -> String {
+    let items: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "circuit": r.circuit,
+                "sinks": r.sinks,
+                "groups": r.groups,
+                "algorithm": r.algorithm,
+                "wirelength_um": r.wirelength,
+                "reduction": r.reduction,
+                "max_skew_ps": r.max_skew_ps,
+                "cpu_s": r.cpu_s,
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&items).expect("rows serialize")
+}
+
+/// Circuits to run given a `--quick` flag: r1–r3 quick, all five otherwise.
+pub fn circuits(quick: bool) -> Vec<RBench> {
+    if quick {
+        vec![RBench::R1, RBench::R2, RBench::R3]
+    } else {
+        RBench::ALL.to_vec()
+    }
+}
+
+/// Parses `--quick` / `--json` flags from argv.
+pub fn flags() -> (bool, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    (
+        args.iter().any(|a| a == "--quick"),
+        args.iter().any(|a| a == "--json"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_circuit_produces_baseline_plus_group_rows() {
+        // Smallest circuit, clustered (cheapest) to keep the test fast.
+        let rows = run_circuit(RBench::R1, PartitionMode::Clustered, 3);
+        assert_eq!(rows.len(), 1 + GROUP_COUNTS.len());
+        assert_eq!(rows[0].algorithm, "EXT-BST");
+        assert_eq!(rows[0].reduction, 0.0);
+        for r in &rows[1..] {
+            assert_eq!(r.algorithm, "AST-DME");
+            assert!(r.wirelength > 0.0);
+        }
+    }
+
+    #[test]
+    fn markdown_and_json_render() {
+        let rows = vec![Row {
+            circuit: "r1".into(),
+            sinks: 267,
+            groups: 4,
+            algorithm: "AST-DME".into(),
+            wirelength: 1_000_000.0,
+            reduction: 0.05,
+            max_skew_ps: 42.0,
+            cpu_s: 1.5,
+        }];
+        let md = to_markdown(&rows);
+        assert!(md.contains("| r1 (267 sinks) | 4 | AST-DME | 1000000 | 5.00% | 42.0 | 1.50 |"));
+        let js = to_json(&rows);
+        assert!(js.contains("\"reduction\": 0.05"));
+    }
+
+    #[test]
+    fn circuit_selection() {
+        assert_eq!(circuits(true).len(), 3);
+        assert_eq!(circuits(false).len(), 5);
+    }
+}

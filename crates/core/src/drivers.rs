@@ -1,0 +1,143 @@
+//! The bottom-up driving loop shared by all routers.
+
+use astdme_delay::DelayModel;
+use astdme_engine::{EngineConfig, Instance, MergeForest, NodeId};
+use astdme_geom::Trr;
+use astdme_topo::{plan_round, MergeSpace, TopoConfig};
+
+/// Adapter exposing a [`MergeForest`] to the merge planner.
+///
+/// Keys are forest node indices. The adapter also lets callers restrict the
+/// planner to a subset of subtrees (used by [`crate::StitchPerGroup`] to
+/// finish each group before crossing groups).
+pub struct ForestSpace<'a> {
+    forest: &'a MergeForest,
+}
+
+impl<'a> ForestSpace<'a> {
+    /// Wraps a forest.
+    pub fn new(forest: &'a MergeForest) -> Self {
+        Self { forest }
+    }
+}
+
+impl MergeSpace for ForestSpace<'_> {
+    fn region(&self, id: usize) -> Trr {
+        self.forest.representative_region(NodeId::from_index(id))
+    }
+
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        // Geometric distance, deliberately: ranking node pairs by full
+        // merge-cost estimates defers delay-imbalanced pairs, which strands
+        // slow subtrees until only expensive partners remain. Offset
+        // compatibility is handled *inside* a merge by candidate-pair
+        // ranking (see MergeForest::merge).
+        self.forest
+            .merge_distance(NodeId::from_index(a), NodeId::from_index(b))
+    }
+
+    fn delay(&self, id: usize) -> f64 {
+        self.forest.max_delay(NodeId::from_index(id))
+    }
+}
+
+/// Runs the bottom-up merge loop over `start` until a single subtree
+/// remains, merging pairs chosen by the planner each round.
+///
+/// Returns the surviving root. `start` must be non-empty; a single node is
+/// returned unchanged.
+pub fn merge_until_one(
+    forest: &mut MergeForest,
+    start: Vec<NodeId>,
+    topo: &TopoConfig,
+) -> NodeId {
+    assert!(!start.is_empty(), "need at least one subtree to merge");
+    let mut active: Vec<usize> = start.iter().map(|n| n.index()).collect();
+    while active.len() > 1 {
+        let pairs = {
+            let space = ForestSpace::new(forest);
+            plan_round(&space, &active, topo)
+        };
+        debug_assert!(!pairs.is_empty(), "planner must make progress");
+        for (a, b) in pairs {
+            let m = forest.merge(NodeId::from_index(a), NodeId::from_index(b));
+            active.retain(|&x| x != a && x != b);
+            active.push(m.index());
+        }
+    }
+    NodeId::from_index(active[0])
+}
+
+/// Builds the forest for `inst` under `model`, merges everything bottom-up,
+/// and returns the forest plus the root subtree.
+pub fn run_bottom_up(
+    inst: &Instance,
+    model: DelayModel,
+    engine: EngineConfig,
+    topo: &TopoConfig,
+) -> (MergeForest, NodeId) {
+    let mut forest = MergeForest::for_instance_with_model(inst, model, engine);
+    let leaves = forest.leaves();
+    let root = merge_until_one(&mut forest, leaves, topo);
+    (forest, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astdme_delay::RcParams;
+    use astdme_engine::{Groups, Sink};
+    use astdme_geom::Point;
+
+    fn line_instance(n: usize, groups: usize) -> Instance {
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| Sink::new(Point::new(300.0 * i as f64, (i % 3) as f64 * 100.0), 1e-14))
+            .collect();
+        let assignment: Vec<usize> = (0..n).map(|i| i % groups).collect();
+        Instance::new(
+            sinks,
+            Groups::from_assignments(assignment, groups).unwrap(),
+            RcParams::default(),
+            Point::new(0.0, 2000.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_bottom_up_produces_single_root_covering_all_sinks() {
+        let inst = line_instance(9, 3);
+        let (forest, root) = run_bottom_up(
+            &inst,
+            DelayModel::elmore(*inst.rc()),
+            EngineConfig::default(),
+            &TopoConfig::default(),
+        );
+        let tree = forest.embed(root, inst.source());
+        assert_eq!(tree.sink_nodes().count(), 9);
+    }
+
+    #[test]
+    fn greedy_and_multimerge_both_terminate() {
+        let inst = line_instance(8, 2);
+        for topo in [TopoConfig::greedy(), TopoConfig::default()] {
+            let (forest, root) = run_bottom_up(
+                &inst,
+                DelayModel::elmore(*inst.rc()),
+                EngineConfig::default(),
+                &topo,
+            );
+            let tree = forest.embed(root, inst.source());
+            assert_eq!(tree.sink_nodes().count(), 8);
+        }
+    }
+
+    #[test]
+    fn merge_until_one_returns_single_node_unchanged() {
+        let inst = line_instance(2, 1);
+        let mut forest = MergeForest::for_instance(&inst, EngineConfig::default());
+        let leaves = forest.leaves();
+        let only = vec![leaves[0]];
+        let r = merge_until_one(&mut forest, only, &TopoConfig::default());
+        assert_eq!(r, leaves[0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Routing errors.
+
+use core::fmt;
+use std::error::Error;
+
+use astdme_engine::InstanceError;
+
+/// Error produced by a [`crate::ClockRouter`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// The instance (or a derived re-grouping) failed validation.
+    Instance(InstanceError),
+    /// A router parameter is invalid (e.g. a negative skew bound).
+    BadParameter(String),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Instance(e) => write!(f, "invalid instance: {e}"),
+            Self::BadParameter(msg) => write!(f, "invalid router parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for RouteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Instance(e) => Some(e),
+            Self::BadParameter(_) => None,
+        }
+    }
+}
+
+impl From<InstanceError> for RouteError {
+    fn from(e: InstanceError) -> Self {
+        Self::Instance(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_instance_errors() {
+        let e: RouteError = InstanceError::NoSinks.into();
+        assert!(matches!(e, RouteError::Instance(_)));
+        assert!(e.to_string().contains("no sinks"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn bad_parameter_display() {
+        let e = RouteError::BadParameter("bound must be non-negative".into());
+        assert!(e.to_string().contains("bound"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,432 @@
+//! Feasible wire splits under shared-group skew constraints.
+//!
+//! When two subtrees merge, each sink group present in *both* subtrees
+//! constrains how the merging wire may be split (Kim 2006, Ch. V.C–E). Let
+//! `d_a(e_a)` and `d_b(e_b)` be the delays of the two halves of the merging
+//! wire and `[lo, hi]` each child's existing delay spread for the group.
+//! The merged spread is
+//!
+//! ```text
+//! max(d_a + hi_a, d_b + hi_b) - min(d_a + lo_a, d_b + lo_b)  <=  bound
+//! ```
+//!
+//! Writing `δ = d_a - d_b`, this is equivalent to the **δ-window**
+//!
+//! ```text
+//! hi_b - lo_a - bound  <=  δ  <=  bound + lo_b - hi_a
+//! ```
+//!
+//! (each case of the max/min falls out; see `delta_window` tests). With
+//! several shared groups the windows intersect — the paper's Fig. 5
+//! "feasible merging region" intersection. An empty intersection cannot be
+//! fixed by any wire split or snake at *this* merge (δ is one number): it
+//! requires re-balancing inside a child, which the engine performs as
+//! offset adjustment (the paper's wire sneaking, Eqs. 5.1–5.3).
+//!
+//! Since `d_a` is strictly increasing and `d_b` strictly decreasing in the
+//! split position, δ is strictly increasing, and the feasible split set for
+//! a non-empty window is a single interval found by monotone root solving —
+//! exact, no sampling.
+
+use astdme_geom::Interval;
+
+use crate::{DelayModel, IntervalSet};
+
+/// A skew constraint induced by one sink group shared between the two
+/// subtrees being merged.
+///
+/// `lo_a`/`hi_a` bound the group's delay spread in child `a` (measured from
+/// `a`'s root), `lo_b`/`hi_b` likewise for child `b`; `bound` is the
+/// maximum allowed spread after the merge (`0` for zero skew).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedConstraint {
+    /// Minimum delay to the group's sinks in child `a`.
+    pub lo_a: f64,
+    /// Maximum delay to the group's sinks in child `a`.
+    pub hi_a: f64,
+    /// Minimum delay to the group's sinks in child `b`.
+    pub lo_b: f64,
+    /// Maximum delay to the group's sinks in child `b`.
+    pub hi_b: f64,
+    /// Maximum allowed delay spread for the group after merging.
+    pub bound: f64,
+}
+
+impl SharedConstraint {
+    /// Zero-skew constraint between two exactly-balanced children with
+    /// root-to-sink delays `ta` and `tb`.
+    pub fn zero_skew(ta: f64, tb: f64) -> Self {
+        Self {
+            lo_a: ta,
+            hi_a: ta,
+            lo_b: tb,
+            hi_b: tb,
+            bound: 0.0,
+        }
+    }
+
+    /// The window of `δ = d_a - d_b` values under which the merged spread
+    /// stays within `bound`, or `None` if no alignment works (possible only
+    /// when the children's spreads sum past `2·bound`).
+    ///
+    /// ```
+    /// use astdme_delay::SharedConstraint;
+    /// let c = SharedConstraint::zero_skew(3e-12, 5e-12);
+    /// let w = c.delta_window().unwrap();
+    /// // Zero-skew: δ must exactly offset the children's imbalance.
+    /// assert_eq!(w.lo(), w.hi());
+    /// assert!((w.lo() - 2e-12).abs() < 1e-24);
+    /// ```
+    pub fn delta_window(&self) -> Option<Interval> {
+        self.delta_window_with_tol(0.0)
+    }
+
+    /// Like [`SharedConstraint::delta_window`], but windows inverted by at
+    /// most `tol` (accumulated float noise on zero-skew children) snap to
+    /// a point instead of reporting a spurious conflict. `tol` is absolute,
+    /// in delay units.
+    pub fn delta_window_with_tol(&self, tol: f64) -> Option<Interval> {
+        let lo = self.hi_b - self.lo_a - self.bound;
+        let hi = self.bound + self.lo_b - self.hi_a;
+        if lo > hi && lo - hi <= tol {
+            return Some(Interval::point(0.5 * (lo + hi)));
+        }
+        Interval::try_new(lo, hi)
+    }
+}
+
+/// Intersects the δ-windows of `cons` with absolute rounding slack `tol`
+/// (delay units).
+///
+/// The slack affects only the *feasibility decision*: windows that miss
+/// each other by at most `2·tol` of float noise still intersect (collapsed
+/// to the midpoint of the slack region). The returned window never extends
+/// beyond the exact intersection, so splits sampled from it keep every
+/// group's spread strictly within its bound — crucial, because consuming
+/// the slack as real imbalance would compound across merge levels.
+///
+/// Returns `None` for a genuine conflict, `Some(None)` when there are no
+/// constraints, and `Some(Some(window))` otherwise.
+#[allow(clippy::option_option)]
+pub fn intersect_delta_windows(cons: &[SharedConstraint], tol: f64) -> Option<Option<Interval>> {
+    let mut dilated: Option<Interval> = None;
+    let mut exact: Option<Option<Interval>> = None;
+    for c in cons {
+        let w = c.delta_window_with_tol(tol)?;
+        dilated = Some(match dilated {
+            None => w.dilate(tol),
+            Some(prev) => prev.intersect(&w.dilate(tol))?,
+        });
+        exact = Some(match exact {
+            None => Some(w),
+            Some(prev) => prev.and_then(|p| p.intersect(&w)),
+        });
+    }
+    match (dilated, exact) {
+        (None, _) => Some(None),
+        (Some(d), Some(Some(e))) => {
+            // Exact intersection exists; ignore the slack entirely.
+            let _ = d;
+            Some(Some(e))
+        }
+        // Windows only meet within the slack: treat as the single point at
+        // the middle of the slack region (exact in the limit tol -> 0).
+        (Some(d), _) => Some(Some(Interval::point(d.mid()))),
+    }
+}
+
+/// The set of wire splits `e_a ∈ [0, total]` (with `e_b = total - e_a`)
+/// satisfying every shared-group constraint.
+///
+/// With no constraints the full `[0, total]` is feasible (merging subtrees
+/// from entirely different groups — the paper's SDR case, Fig. 3). The
+/// result is empty when the δ-windows conflict or when `total` is too short
+/// to reach the common window.
+pub fn feasible_splits(
+    model: &DelayModel,
+    ca: f64,
+    cb: f64,
+    total: f64,
+    cons: &[SharedConstraint],
+    tol: f64,
+) -> IntervalSet {
+    debug_assert!(total >= 0.0, "total wire length must be non-negative");
+    let full = Interval::new(0.0, total);
+    let Some(window) = intersect_delta_windows(cons, tol) else {
+        return IntervalSet::empty();
+    };
+    let Some(window) = window else {
+        // Unconstrained merge: all splits feasible.
+        return IntervalSet::single(full);
+    };
+    // δ(x) = d_a(x) - d_b(total - x), strictly increasing in x.
+    let da = model.delay_quad(ca);
+    let db = model.delay_quad(cb).reflect(total);
+    let delta_at = |x: f64| da.eval(x) - db.eval(x);
+    let (dmin, dmax) = (delta_at(0.0), delta_at(total));
+    // Tolerance in delay units, scaled to the values at play.
+    let dtol = 1e-12 * (dmax - dmin).abs().max(window.lo().abs() + window.hi().abs()) + 1e-30;
+    if window.hi() < dmin - dtol || window.lo() > dmax + dtol {
+        return IntervalSet::empty();
+    }
+    let solve = |target: f64, default: f64| -> f64 {
+        if target <= dmin {
+            0.0
+        } else if target >= dmax {
+            total
+        } else {
+            da.sub(&db)
+                .add_const(-target)
+                .monotone_root(full)
+                .unwrap_or(default)
+        }
+    };
+    // Degenerate windows (zero-skew constraints): return the single exact
+    // balance split rather than spreading samples across the `tol`-dilated
+    // width — sampling inside the slack would smear real imbalance into
+    // every candidate and compound across merge levels.
+    if window.len() <= 4.0 * tol {
+        let x = solve(window.mid(), 0.5 * total).clamp(0.0, total);
+        return IntervalSet::single(Interval::point(x));
+    }
+    let x_lo = solve(window.lo(), 0.0);
+    let x_hi = solve(window.hi(), total);
+    match Interval::try_new(x_lo, x_hi) {
+        Some(iv) => IntervalSet::single(iv),
+        // Rounding can invert a degenerate window's endpoints.
+        None => IntervalSet::single(Interval::point(0.5 * (x_lo + x_hi))),
+    }
+}
+
+/// The smallest total wire length `>= dist` for which some split satisfies
+/// all constraints, or `None` when the δ-windows conflict outright (which
+/// no amount of wire at this merge can fix — see module docs).
+///
+/// When the balance needs more wire than the geometric distance, the
+/// returned total exceeds `dist` and the excess is a snaking detour
+/// (the generalization of the paper's Eq. 5.1–5.3 γ term).
+pub fn min_total_for_feasibility(
+    model: &DelayModel,
+    ca: f64,
+    cb: f64,
+    dist: f64,
+    cons: &[SharedConstraint],
+    tol: f64,
+) -> Option<f64> {
+    debug_assert!(dist >= 0.0);
+    let window = intersect_delta_windows(cons, tol)?;
+    let Some(window) = window else {
+        return Some(dist);
+    };
+    // δ ranges over [-d_b(total), d_a(total)]; both ends grow with total,
+    // so the minimum total puts all wire on one side.
+    let mut need = dist;
+    if window.lo() > 0.0 {
+        // Must slow side a down by at least window.lo().
+        need = need.max(model.extension_for_delay(window.lo(), ca));
+    }
+    if window.hi() < 0.0 {
+        need = need.max(model.extension_for_delay(-window.hi(), cb));
+    }
+    Some(need)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RcParams;
+
+    fn m() -> DelayModel {
+        DelayModel::elmore(RcParams::default())
+    }
+
+    /// Brute-force check of a split against the original max/min spread
+    /// definition.
+    fn spread_ok(
+        model: &DelayModel,
+        ca: f64,
+        cb: f64,
+        total: f64,
+        x: f64,
+        c: &SharedConstraint,
+        tol: f64,
+    ) -> bool {
+        let da = model.wire_delay(x, ca);
+        let db = model.wire_delay(total - x, cb);
+        let hi = (da + c.hi_a).max(db + c.hi_b);
+        let lo = (da + c.lo_a).min(db + c.lo_b);
+        hi - lo <= c.bound + tol
+    }
+
+    #[test]
+    fn delta_window_zero_skew_is_a_point() {
+        let c = SharedConstraint::zero_skew(1e-12, 4e-12);
+        let w = c.delta_window().unwrap();
+        assert_eq!(w.lo(), 3e-12);
+        assert_eq!(w.hi(), 3e-12);
+    }
+
+    #[test]
+    fn delta_window_matches_bruteforce_definition() {
+        let c = SharedConstraint {
+            lo_a: 1e-12,
+            hi_a: 3e-12,
+            lo_b: 2e-12,
+            hi_b: 4e-12,
+            bound: 5e-12,
+        };
+        let w = c.delta_window().unwrap();
+        // Scan δ values and compare against the definition directly,
+        // skipping points within rounding distance of the window boundary.
+        for i in -100..=100 {
+            let delta = i as f64 * 1e-13;
+            if (delta - w.lo()).abs() < 1e-26 || (delta - w.hi()).abs() < 1e-26 {
+                continue;
+            }
+            let hi = (delta + c.hi_a).max(c.hi_b);
+            let lo = (delta + c.lo_a).min(c.lo_b);
+            let ok = hi - lo <= c.bound + 1e-30;
+            assert_eq!(
+                ok,
+                w.contains(delta, 1e-30),
+                "mismatch at delta = {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_window_empty_when_spreads_exceed_twice_bound() {
+        let c = SharedConstraint {
+            lo_a: 0.0,
+            hi_a: 8e-12,
+            lo_b: 0.0,
+            hi_b: 8e-12,
+            bound: 5e-12,
+        };
+        assert!(c.delta_window().is_none());
+    }
+
+    #[test]
+    fn unconstrained_split_is_everything() {
+        let s = feasible_splits(&m(), 1e-14, 1e-14, 500.0, &[], 1e-22);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(500.0));
+    }
+
+    #[test]
+    fn zero_skew_feasible_split_matches_balance() {
+        // Imbalance small enough to absorb inside an 800 um merge wire.
+        let (ta, ca, tb, cb, dist) = (1e-14, 2e-14, 3e-14, 1e-14, 800.0);
+        let s = feasible_splits(&m(), ca, cb, dist, &[SharedConstraint::zero_skew(ta, tb)], 1e-22);
+        assert!(!s.is_empty());
+        let x = s.min().unwrap();
+        assert!(s.measure() < 1e-6, "zero-skew split must be a point");
+        let split = m().balance_split(ta, ca, tb, cb, dist);
+        assert!((x - split.ea).abs() < 1e-6, "{x} vs {}", split.ea);
+    }
+
+    #[test]
+    fn bounded_skew_widens_the_window() {
+        let cons = SharedConstraint {
+            lo_a: 0.0,
+            hi_a: 0.0,
+            lo_b: 0.0,
+            hi_b: 0.0,
+            bound: 1e-11,
+        };
+        let s0 = feasible_splits(&m(), 1e-14, 1e-14, 1000.0, &[SharedConstraint::zero_skew(0.0, 0.0)], 1e-22);
+        let s = feasible_splits(&m(), 1e-14, 1e-14, 1000.0, &[cons], 1e-22);
+        assert!(s.measure() > s0.measure());
+        // And all sampled splits really satisfy the bound.
+        for x in s.sample(9) {
+            assert!(spread_ok(&m(), 1e-14, 1e-14, 1000.0, x, &cons, 1e-18));
+        }
+    }
+
+    #[test]
+    fn infeasible_at_short_total_feasible_after_snaking() {
+        // Child a is much slower: balancing needs eb long; with a short
+        // total the window is unreachable.
+        let cons = SharedConstraint::zero_skew(5e-11, 0.0);
+        let s = feasible_splits(&m(), 1e-14, 1e-14, 10.0, &[cons], 1e-22);
+        assert!(s.is_empty());
+        let t = min_total_for_feasibility(&m(), 1e-14, 1e-14, 10.0, &[cons], 1e-22).unwrap();
+        assert!(t > 10.0);
+        let s2 = feasible_splits(&m(), 1e-14, 1e-14, t * (1.0 + 1e-12), &[cons], 1e-22);
+        assert!(!s2.is_empty(), "feasible at the computed minimum total");
+        // Minimality: 1% less total is still infeasible.
+        let s3 = feasible_splits(&m(), 1e-14, 1e-14, t * 0.99, &[cons], 1e-22);
+        assert!(s3.is_empty());
+    }
+
+    #[test]
+    fn conflicting_windows_are_unfixable() {
+        // Two zero-skew groups demanding different δ: impossible at any T.
+        let g1 = SharedConstraint::zero_skew(0.0, 1e-12);
+        let g2 = SharedConstraint::zero_skew(0.0, 2e-12);
+        let s = feasible_splits(&m(), 1e-14, 1e-14, 1000.0, &[g1, g2], 1e-22);
+        assert!(s.is_empty());
+        assert!(min_total_for_feasibility(&m(), 1e-14, 1e-14, 1000.0, &[g1, g2], 1e-22).is_none());
+    }
+
+    #[test]
+    fn compatible_multi_group_windows_intersect() {
+        // Same required δ: feasible; bounded groups widen around it.
+        let g1 = SharedConstraint::zero_skew(1e-14, 2e-14);
+        let g2 = SharedConstraint {
+            lo_a: 1e-14,
+            hi_a: 1e-14,
+            lo_b: 2e-14,
+            hi_b: 2e-14,
+            bound: 1e-14,
+        };
+        let s = feasible_splits(&m(), 1e-14, 1e-14, 2000.0, &[g1, g2], 1e-22);
+        assert!(!s.is_empty());
+        for x in s.sample(5) {
+            assert!(spread_ok(&m(), 1e-14, 1e-14, 2000.0, x, &g1, 1e-18));
+            assert!(spread_ok(&m(), 1e-14, 1e-14, 2000.0, x, &g2, 1e-18));
+        }
+    }
+
+    #[test]
+    fn feasible_splits_pathlength_model() {
+        let m = DelayModel::pathlength();
+        // ea - (T - ea) = tb - ta = 4 -> ea = (T + 4) / 2 = 7.
+        let s = feasible_splits(&m, 0.0, 0.0, 10.0, &[SharedConstraint::zero_skew(0.0, 4.0)], 1e-22);
+        let x = s.nearest(0.0).unwrap();
+        assert!((x - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_total_equals_dist_when_already_feasible() {
+        let cons = SharedConstraint::zero_skew(0.0, 0.0);
+        let t = min_total_for_feasibility(&m(), 1e-14, 1e-14, 123.0, &[cons], 1e-22).unwrap();
+        assert_eq!(t, 123.0);
+    }
+
+    #[test]
+    fn feasible_set_is_exactly_the_bound_boundary() {
+        // The returned interval's endpoints must sit exactly on the skew
+        // bound (the merging-region boundary of BST).
+        let cons = SharedConstraint {
+            lo_a: 0.0,
+            hi_a: 0.0,
+            lo_b: 0.0,
+            hi_b: 0.0,
+            bound: 5e-12,
+        };
+        let (ca, cb, total) = (2e-14, 3e-14, 2000.0);
+        let s = feasible_splits(&m(), ca, cb, total, &[cons], 1e-22);
+        let iv = s.iter().next().unwrap();
+        for x in [iv.lo(), iv.hi()] {
+            if x > 0.0 && x < total {
+                let da = m().wire_delay(x, ca);
+                let db = m().wire_delay(total - x, cb);
+                assert!(
+                    ((da - db).abs() - cons.bound).abs() < 1e-24,
+                    "boundary split not tight at {x}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Finite unions of disjoint closed intervals.
+//!
+//! Feasible wire-split sets are unions of up to a few intervals per skew
+//! constraint; merging subtrees that share several groups intersects one
+//! set per group (the "feasible merging region" intersection of Kim 2006,
+//! Fig. 5).
+
+use core::fmt;
+
+use astdme_geom::Interval;
+
+/// A normalized union of disjoint, ascending closed intervals.
+///
+/// ```
+/// use astdme_delay::IntervalSet;
+/// use astdme_geom::Interval;
+///
+/// let a = IntervalSet::from_intervals(vec![
+///     Interval::new(0.0, 2.0),
+///     Interval::new(1.0, 3.0), // overlaps: coalesced
+///     Interval::new(5.0, 6.0),
+/// ]);
+/// assert_eq!(a.iter().count(), 2);
+/// let b = IntervalSet::from_intervals(vec![Interval::new(2.5, 5.5)]);
+/// let i = a.intersect(&b);
+/// assert_eq!(i.iter().collect::<Vec<_>>(), vec![
+///     Interval::new(2.5, 3.0),
+///     Interval::new(5.0, 5.5),
+/// ]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntervalSet {
+    /// Disjoint intervals in ascending order.
+    parts: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    #[inline]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A single-interval set.
+    #[inline]
+    pub fn single(iv: Interval) -> Self {
+        Self { parts: vec![iv] }
+    }
+
+    /// Builds a set from arbitrary intervals, sorting and coalescing
+    /// overlapping or touching ones.
+    pub fn from_intervals(mut ivs: Vec<Interval>) -> Self {
+        ivs.sort_by(|a, b| a.lo().partial_cmp(&b.lo()).expect("no NaN intervals"));
+        let mut parts: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match parts.last_mut() {
+                Some(last) if iv.lo() <= last.hi() => {
+                    *last = Interval::new(last.lo(), last.hi().max(iv.hi()));
+                }
+                _ => parts.push(iv),
+            }
+        }
+        Self { parts }
+    }
+
+    /// Returns `true` if the set contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Iterates the disjoint intervals in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.parts.iter().copied()
+    }
+
+    /// Total measure (sum of interval lengths).
+    pub fn measure(&self) -> f64 {
+        self.parts.iter().map(Interval::len).sum()
+    }
+
+    /// Smallest element, if non-empty.
+    pub fn min(&self) -> Option<f64> {
+        self.parts.first().map(Interval::lo)
+    }
+
+    /// Largest element, if non-empty.
+    pub fn max(&self) -> Option<f64> {
+        self.parts.last().map(Interval::hi)
+    }
+
+    /// Returns `true` if `x` belongs to the set (within `tol`).
+    pub fn contains(&self, x: f64, tol: f64) -> bool {
+        self.parts.iter().any(|iv| iv.contains(x, tol))
+    }
+
+    /// The set-intersection with `other`.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let (mut i, mut j) = (0, 0);
+        let mut parts = Vec::new();
+        while i < self.parts.len() && j < other.parts.len() {
+            let (a, b) = (self.parts[i], other.parts[j]);
+            if let Some(o) = a.intersect(&b) {
+                parts.push(o);
+            }
+            if a.hi() <= b.hi() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Self { parts }
+    }
+
+    /// The union with `other`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut all = self.parts.clone();
+        all.extend_from_slice(&other.parts);
+        Self::from_intervals(all)
+    }
+
+    /// The element of the set nearest to `x`, if non-empty.
+    pub fn nearest(&self, x: f64) -> Option<f64> {
+        self.parts
+            .iter()
+            .map(|iv| iv.clamp(x))
+            .min_by(|a, b| {
+                (a - x)
+                    .abs()
+                    .partial_cmp(&(b - x).abs())
+                    .expect("no NaN clamp results")
+            })
+    }
+
+    /// Up to `k` representative points spread across the set: each
+    /// interval's endpoints plus evenly spaced interior samples,
+    /// proportionally to interval length.
+    ///
+    /// Returns at least one point per interval (its midpoint) even when
+    /// `k` is small; degenerate intervals contribute their single point.
+    pub fn sample(&self, k: usize) -> Vec<f64> {
+        if self.parts.is_empty() {
+            return Vec::new();
+        }
+        let total = self.measure();
+        let mut out = Vec::new();
+        for iv in &self.parts {
+            if iv.len() == 0.0 || total == 0.0 {
+                out.push(iv.mid());
+                continue;
+            }
+            let share = ((iv.len() / total) * k as f64).round().max(1.0) as usize;
+            if share == 1 {
+                out.push(iv.mid());
+            } else {
+                for s in 0..share {
+                    out.push(iv.lo() + iv.len() * s as f64 / (share - 1) as f64);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        Self::from_intervals(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "{{}}");
+        }
+        for (i, iv) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " U ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn from_intervals_coalesces() {
+        let s = IntervalSet::from_intervals(vec![iv(3.0, 4.0), iv(0.0, 1.0), iv(0.5, 2.0)]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![iv(0.0, 2.0), iv(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn touching_intervals_merge() {
+        let s = IntervalSet::from_intervals(vec![iv(0.0, 1.0), iv(1.0, 2.0)]);
+        assert_eq!(s.iter().count(), 1);
+        assert_eq!(s.measure(), 2.0);
+    }
+
+    #[test]
+    fn intersect_empty_and_disjoint() {
+        let a = IntervalSet::single(iv(0.0, 1.0));
+        let b = IntervalSet::single(iv(2.0, 3.0));
+        assert!(a.intersect(&b).is_empty());
+        assert!(IntervalSet::empty().intersect(&a).is_empty());
+    }
+
+    #[test]
+    fn intersect_multi_part() {
+        let a = IntervalSet::from_intervals(vec![iv(0.0, 2.0), iv(4.0, 6.0), iv(8.0, 9.0)]);
+        let b = IntervalSet::from_intervals(vec![iv(1.0, 5.0), iv(8.5, 10.0)]);
+        let i = a.intersect(&b);
+        assert_eq!(
+            i.iter().collect::<Vec<_>>(),
+            vec![iv(1.0, 2.0), iv(4.0, 5.0), iv(8.5, 9.0)]
+        );
+    }
+
+    #[test]
+    fn union_merges_everything() {
+        let a = IntervalSet::single(iv(0.0, 1.0));
+        let b = IntervalSet::from_intervals(vec![iv(0.5, 2.0), iv(5.0, 6.0)]);
+        let u = a.union(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![iv(0.0, 2.0), iv(5.0, 6.0)]);
+    }
+
+    #[test]
+    fn nearest_picks_closest_part() {
+        let s = IntervalSet::from_intervals(vec![iv(0.0, 1.0), iv(10.0, 11.0)]);
+        assert_eq!(s.nearest(0.5), Some(0.5));
+        assert_eq!(s.nearest(3.0), Some(1.0));
+        assert_eq!(s.nearest(9.0), Some(10.0));
+        assert_eq!(IntervalSet::empty().nearest(0.0), None);
+    }
+
+    #[test]
+    fn min_max_and_contains() {
+        let s = IntervalSet::from_intervals(vec![iv(1.0, 2.0), iv(5.0, 7.0)]);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(7.0));
+        assert!(s.contains(6.0, 0.0));
+        assert!(!s.contains(3.0, 0.0));
+        assert!(s.contains(2.0 + 1e-9, 1e-6));
+    }
+
+    #[test]
+    fn sample_covers_all_parts() {
+        let s = IntervalSet::from_intervals(vec![iv(0.0, 4.0), iv(10.0, 10.0)]);
+        let pts = s.sample(8);
+        assert!(pts.iter().any(|&x| x <= 4.0));
+        assert!(pts.contains(&10.0));
+        for &x in &pts {
+            assert!(s.contains(x, 1e-12));
+        }
+    }
+
+    #[test]
+    fn sample_of_degenerate_set() {
+        let s = IntervalSet::single(iv(3.0, 3.0));
+        assert_eq!(s.sample(5), vec![3.0]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: IntervalSet = [iv(0.0, 1.0), iv(2.0, 3.0)].into_iter().collect();
+        assert_eq!(s.iter().count(), 2);
+    }
+}

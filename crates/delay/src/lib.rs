@@ -1,0 +1,54 @@
+//! Delay models and skew solvers for deferred-merge clock routing.
+//!
+//! This crate implements the electrical layer of the AST-DME reproduction:
+//!
+//! * the **Elmore delay model** over π-modelled RC wires (Kim 2006, Ch. III),
+//!   plus the primitive **pathlength** (linear) model used by the prior
+//!   associative-skew work it improves on — kept for ablation;
+//! * **zero-skew balance**: the exact split of a merging wire that equalizes
+//!   Elmore delay to both subtrees (Tsay 1991), with **wire snaking** when
+//!   no interior split exists;
+//! * **bounded-skew feasibility**: the set of wire splits keeping a merged
+//!   group's delay spread within a bound — a piecewise-quadratic inequality
+//!   solved exactly; this generalizes the merging-region construction of
+//!   BST (Cong et al. 1998) and the feasible-merging-region intersection of
+//!   Kim 2006, Ch. V.E.
+//!
+//! Units are SI throughout: lengths in micrometres, resistance in Ω/µm,
+//! capacitance in F/µm, delay in seconds.
+//!
+//! # Example: zero-skew balance with snaking
+//!
+//! ```
+//! use astdme_delay::{DelayModel, RcParams};
+//!
+//! let m = DelayModel::elmore(RcParams::default());
+//! // Subtree a is much slower: the split lands at a's root (ea = 0) and
+//! // the wire to b is longer than the distance — a snaking detour.
+//! let split = m.balance_split(5e-10, 1e-13, 0.0, 1e-13, 100.0);
+//! assert_eq!(split.ea, 0.0);
+//! assert!(split.eb > 100.0);
+//! assert!(split.snaked(100.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod feasible;
+mod intervalset;
+mod model;
+mod params;
+mod quad;
+
+pub use feasible::{feasible_splits, intersect_delta_windows, min_total_for_feasibility, SharedConstraint};
+pub use intervalset::IntervalSet;
+pub use model::{DelayModel, Split};
+pub use params::RcParams;
+pub use quad::Quad;
+
+/// Absolute tolerance (seconds) used when comparing delays and skews.
+///
+/// Clock delays on die-scale instances are ~1e-10 s; f64 rounding over a
+/// full bottom-up pass accumulates error around 1e-22 s, so 1e-18 s (one
+/// millionth of a picosecond) cleanly separates real skew from noise.
+pub const DELAY_TOL: f64 = 1e-18;

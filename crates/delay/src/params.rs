@@ -1,0 +1,115 @@
+//! Interconnect RC parameters.
+
+use core::fmt;
+
+/// Per-unit-length interconnect parameters for the Elmore delay model.
+///
+/// The defaults match the technology used by the classic `r1`–`r5` clock
+/// benchmarks (Tsay 1991 / Cong et al. 1998): 0.003 Ω/µm wire resistance and
+/// 0.02 fF/µm wire capacitance.
+///
+/// ```
+/// use astdme_delay::RcParams;
+///
+/// let p = RcParams::default();
+/// assert_eq!(p.r_per_um(), 0.003);
+/// assert_eq!(p.c_per_um(), 0.02e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RcParams {
+    r_per_um: f64,
+    c_per_um: f64,
+}
+
+impl RcParams {
+    /// Creates parameters from wire resistance (Ω/µm) and capacitance
+    /// (F/µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-positive or non-finite.
+    pub fn new(r_per_um: f64, c_per_um: f64) -> Self {
+        assert!(
+            r_per_um > 0.0 && r_per_um.is_finite(),
+            "wire resistance must be positive and finite, got {r_per_um}"
+        );
+        assert!(
+            c_per_um > 0.0 && c_per_um.is_finite(),
+            "wire capacitance must be positive and finite, got {c_per_um}"
+        );
+        Self { r_per_um, c_per_um }
+    }
+
+    /// Wire resistance in Ω/µm.
+    #[inline]
+    pub fn r_per_um(&self) -> f64 {
+        self.r_per_um
+    }
+
+    /// Wire capacitance in F/µm.
+    #[inline]
+    pub fn c_per_um(&self) -> f64 {
+        self.c_per_um
+    }
+
+    /// Total capacitance of a wire of length `len` µm.
+    #[inline]
+    pub fn wire_cap(&self, len: f64) -> f64 {
+        self.c_per_um * len
+    }
+
+    /// Total resistance of a wire of length `len` µm.
+    #[inline]
+    pub fn wire_res(&self, len: f64) -> f64 {
+        self.r_per_um * len
+    }
+}
+
+impl Default for RcParams {
+    /// The `r1`–`r5` benchmark technology: 0.003 Ω/µm, 0.02 fF/µm.
+    fn default() -> Self {
+        Self::new(0.003, 0.02e-15)
+    }
+}
+
+impl fmt::Display for RcParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r = {} ohm/um, c = {} F/um",
+            self.r_per_um, self.c_per_um
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_benchmark_technology() {
+        let p = RcParams::default();
+        assert_eq!(p.r_per_um(), 0.003);
+        assert_eq!(p.c_per_um(), 2e-17);
+    }
+
+    #[test]
+    fn wire_totals_scale_linearly() {
+        let p = RcParams::default();
+        assert!((p.wire_cap(1000.0) - 2e-14).abs() < 1e-30);
+        assert!((p.wire_res(1000.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_rejected() {
+        let _ = RcParams::new(0.0, 1e-17);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn negative_capacitance_rejected() {
+        let _ = RcParams::new(0.003, -1e-17);
+    }
+}

@@ -1,0 +1,308 @@
+//! Quadratic polynomials with robust root and inequality solving.
+//!
+//! Elmore delay along a wire of length `x` driving a fixed load is the
+//! quadratic `(rc/2)·x² + rC·x`, so every skew constraint in this crate
+//! reduces to quadratic equalities/inequalities over split intervals. This
+//! module centralizes the numerics: stable root formulas, degenerate-degree
+//! fallbacks, and "where is `q(x) <= 0`" interval extraction.
+
+use astdme_geom::Interval;
+
+/// The polynomial `a2·x² + a1·x + a0`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quad {
+    /// Coefficient of `x²`.
+    pub a2: f64,
+    /// Coefficient of `x`.
+    pub a1: f64,
+    /// Constant term.
+    pub a0: f64,
+}
+
+impl Quad {
+    /// Creates `a2·x² + a1·x + a0`.
+    #[inline]
+    pub fn new(a2: f64, a1: f64, a0: f64) -> Self {
+        Self { a2, a1, a0 }
+    }
+
+    /// The zero polynomial.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates the polynomial at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        (self.a2 * x + self.a1) * x + self.a0
+    }
+
+    /// Sum of two quadratics.
+    #[inline]
+    pub fn add(&self, other: &Self) -> Self {
+        Self::new(self.a2 + other.a2, self.a1 + other.a1, self.a0 + other.a0)
+    }
+
+    /// Difference `self - other`.
+    #[inline]
+    pub fn sub(&self, other: &Self) -> Self {
+        Self::new(self.a2 - other.a2, self.a1 - other.a1, self.a0 - other.a0)
+    }
+
+    /// Adds a constant.
+    #[inline]
+    pub fn add_const(&self, k: f64) -> Self {
+        Self::new(self.a2, self.a1, self.a0 + k)
+    }
+
+    /// The polynomial `q(t - x)` as a polynomial in `x` (reflection used to
+    /// express the far-side wire delay `db(total - ea)` in terms of `ea`).
+    #[inline]
+    pub fn reflect(&self, t: f64) -> Self {
+        // q(t - x) = a2(t - x)^2 + a1(t - x) + a0
+        Self::new(
+            self.a2,
+            -2.0 * self.a2 * t - self.a1,
+            (self.a2 * t + self.a1) * t + self.a0,
+        )
+    }
+
+    /// Real roots in ascending order, using the numerically stable
+    /// `q = -(b + sign(b)·sqrt(disc))/2` formulation. Near-tangent cases
+    /// (discriminant within `-tol_disc` of zero) report a double root.
+    ///
+    /// Degenerate degrees fall back to linear/constant handling: a constant
+    /// zero polynomial reports no roots (callers treat "identically zero"
+    /// via [`Quad::is_const_zero`]).
+    pub fn roots(&self, tol_disc: f64) -> Vec<f64> {
+        let scale = self.a2.abs().max(self.a1.abs()).max(self.a0.abs());
+        if scale == 0.0 {
+            return Vec::new();
+        }
+        // Treat coefficients negligible relative to the polynomial's own
+        // scale as zero to avoid catastrophic cancellation.
+        let eps = 1e-14 * scale;
+        if self.a2.abs() <= eps {
+            if self.a1.abs() <= eps {
+                return Vec::new();
+            }
+            return vec![-self.a0 / self.a1];
+        }
+        let disc = self.a1 * self.a1 - 4.0 * self.a2 * self.a0;
+        let disc_tol = tol_disc * scale * scale;
+        if disc < -disc_tol {
+            return Vec::new();
+        }
+        let sq = disc.max(0.0).sqrt();
+        let q = -0.5 * (self.a1 + f64::copysign(sq, self.a1));
+        let (r1, r2) = if q != 0.0 {
+            (q / self.a2, self.a0 / q)
+        } else {
+            // a1 == 0 and disc == 0: double root at the vertex x = 0.
+            (0.0, 0.0)
+        };
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        if (hi - lo).abs() <= 0.0 {
+            vec![lo]
+        } else {
+            vec![lo, hi]
+        }
+    }
+
+    /// Returns `true` if the polynomial is identically zero up to `tol` on
+    /// all coefficients.
+    #[inline]
+    pub fn is_const_zero(&self, tol: f64) -> bool {
+        self.a2.abs() <= tol && self.a1.abs() <= tol && self.a0.abs() <= tol
+    }
+
+    /// The sub-intervals of `domain` where `q(x) <= slack`.
+    ///
+    /// Exact up to root rounding; returns at most two intervals (a quadratic
+    /// changes sign at most twice). `tol` is an absolute slack tolerance in
+    /// the polynomial's value units — boundary roots are kept even when the
+    /// polynomial only touches `slack`.
+    pub fn le_set(&self, slack: f64, domain: Interval, tol: f64) -> Vec<Interval> {
+        let q = self.add_const(-slack);
+        if q.is_const_zero(tol) {
+            return vec![domain];
+        }
+        // Collect candidate breakpoints: domain ends + roots inside.
+        let mut cuts = vec![domain.lo(), domain.hi()];
+        for r in q.roots(1e-12) {
+            if domain.contains(r, 0.0) {
+                cuts.push(r);
+            }
+        }
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN cuts"));
+        cuts.dedup_by(|a, b| (*a - *b).abs() <= 0.0);
+        let mut out: Vec<Interval> = Vec::new();
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mid = 0.5 * (lo + hi);
+            if q.eval(mid) <= tol {
+                match out.last_mut() {
+                    // Merge adjacent accepted pieces.
+                    Some(last) if last.hi() >= lo => *last = Interval::new(last.lo(), hi),
+                    _ => out.push(Interval::new(lo, hi)),
+                }
+            }
+        }
+        // A tangency exactly at a root with no accepted piece around it
+        // still satisfies q <= slack at that single point.
+        if out.is_empty() {
+            for r in q.roots(1e-9) {
+                if domain.contains(r, 0.0) && q.eval(r) <= tol {
+                    out.push(Interval::point(domain.lo().max(r).min(domain.hi())));
+                }
+            }
+        }
+        out
+    }
+
+    /// The unique root of a (weakly) monotone polynomial inside `domain`,
+    /// refined by bisection for robustness; `None` if no sign change.
+    pub fn monotone_root(&self, domain: Interval) -> Option<f64> {
+        let (mut lo, mut hi) = (domain.lo(), domain.hi());
+        let (flo, fhi) = (self.eval(lo), self.eval(hi));
+        if flo == 0.0 {
+            return Some(lo);
+        }
+        if fhi == 0.0 {
+            return Some(hi);
+        }
+        if flo.signum() == fhi.signum() {
+            return None;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let fm = self.eval(mid);
+            if fm == 0.0 || (hi - lo) <= f64::EPSILON * (1.0 + mid.abs()) {
+                return Some(mid);
+            }
+            if fm.signum() == flo.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner() {
+        let q = Quad::new(2.0, -3.0, 1.0);
+        assert_eq!(q.eval(0.0), 1.0);
+        assert_eq!(q.eval(1.0), 0.0);
+        assert_eq!(q.eval(2.0), 3.0);
+    }
+
+    #[test]
+    fn roots_of_factored_quadratic() {
+        // (x - 1)(x - 3) = x^2 - 4x + 3
+        let r = Quad::new(1.0, -4.0, 3.0).roots(1e-12);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert!((r[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roots_linear_and_none() {
+        let r = Quad::new(0.0, 2.0, -4.0).roots(1e-12);
+        assert_eq!(r, vec![2.0]);
+        assert!(Quad::new(1.0, 0.0, 1.0).roots(1e-12).is_empty());
+        assert!(Quad::new(0.0, 0.0, 5.0).roots(1e-12).is_empty());
+        assert!(Quad::zero().roots(1e-12).is_empty());
+    }
+
+    #[test]
+    fn roots_double() {
+        let r = Quad::new(1.0, -2.0, 1.0).roots(1e-12);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roots_stable_for_tiny_coefficients() {
+        // Coefficients at delay scale (~1e-10): stability matters.
+        let q = Quad::new(3e-17, -2.4e-13, 1e-10);
+        for r in q.roots(1e-12) {
+            assert!(q.eval(r).abs() < 1e-18, "residual too large at {r}");
+        }
+    }
+
+    #[test]
+    fn reflect_identity() {
+        let q = Quad::new(1.5, -2.0, 0.5);
+        let t = 7.0;
+        let refl = q.reflect(t);
+        for x in [0.0, 1.0, 3.5, 7.0] {
+            assert!((refl.eval(x) - q.eval(t - x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn le_set_interior_window() {
+        // x^2 - 1 <= 0 on [-3, 3] -> [-1, 1]
+        let q = Quad::new(1.0, 0.0, -1.0);
+        let s = q.le_set(0.0, Interval::new(-3.0, 3.0), 1e-12);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].lo() + 1.0).abs() < 1e-9);
+        assert!((s[0].hi() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn le_set_two_windows_for_concave() {
+        // -(x^2 - 1) <= 0 -> |x| >= 1 -> two windows on [-3, 3].
+        let q = Quad::new(-1.0, 0.0, 1.0);
+        let s = q.le_set(0.0, Interval::new(-3.0, 3.0), 1e-12);
+        assert_eq!(s.len(), 2);
+        assert!((s[0].hi() + 1.0).abs() < 1e-9);
+        assert!((s[1].lo() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn le_set_everything_or_nothing() {
+        let dom = Interval::new(0.0, 2.0);
+        assert_eq!(Quad::new(0.0, 0.0, -5.0).le_set(0.0, dom, 1e-12), vec![dom]);
+        assert!(Quad::new(0.0, 0.0, 5.0).le_set(0.0, dom, 1e-12).is_empty());
+        // Identically-zero polynomial satisfies <= 0 everywhere.
+        assert_eq!(Quad::zero().le_set(0.0, dom, 1e-12), vec![dom]);
+    }
+
+    #[test]
+    fn le_set_tangency_yields_point() {
+        // x^2 <= 0 touches only at x = 0.
+        let q = Quad::new(1.0, 0.0, 0.0);
+        let s = q.le_set(0.0, Interval::new(-1.0, 1.0), 1e-15);
+        assert!(!s.is_empty());
+        assert!(s[0].contains(0.0, 1e-9));
+        assert!(s[0].len() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_root_bisection() {
+        // Strictly increasing on [0, 10]: 0.5 x^2 + x - 30 has root 6.568...
+        let q = Quad::new(0.5, 1.0, -30.0);
+        let r = q.monotone_root(Interval::new(0.0, 10.0)).unwrap();
+        assert!(q.eval(r).abs() < 1e-9);
+        assert!(Quad::new(0.0, 1.0, 5.0)
+            .monotone_root(Interval::new(0.0, 10.0))
+            .is_none());
+    }
+
+    #[test]
+    fn le_set_respects_slack() {
+        // x^2 <= 4 on [0, 10] -> [0, 2]
+        let q = Quad::new(1.0, 0.0, 0.0);
+        let s = q.le_set(4.0, Interval::new(0.0, 10.0), 1e-12);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].hi() - 2.0).abs() < 1e-9);
+    }
+}

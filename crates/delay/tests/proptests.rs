@@ -1,0 +1,150 @@
+//! Property-based tests for the delay solvers.
+//!
+//! Cross-checks every closed-form solver against the defining equations on
+//! randomized, physically plausible RC values.
+
+use astdme_delay::{
+    feasible_splits, min_total_for_feasibility, DelayModel, RcParams, SharedConstraint,
+};
+use proptest::prelude::*;
+
+fn model() -> impl Strategy<Value = DelayModel> {
+    prop_oneof![
+        3 => (1e-4..1e-1f64, 1e-18..1e-15f64)
+            .prop_map(|(r, c)| DelayModel::elmore(RcParams::new(r, c))),
+        1 => Just(DelayModel::pathlength()),
+    ]
+}
+
+fn cap() -> impl Strategy<Value = f64> {
+    1e-16..1e-12f64
+}
+
+/// Delay magnitudes commensurate with wire delays over ~1e2..1e4 um.
+fn small_delay() -> impl Strategy<Value = f64> {
+    0.0..5e-13f64
+}
+
+proptest! {
+    #[test]
+    fn balance_split_equalizes_delays(
+        m in model(),
+        ta in small_delay(), ca in cap(),
+        tb in small_delay(), cb in cap(),
+        dist in 0.0..2e4f64,
+    ) {
+        let s = m.balance_split(ta, ca, tb, cb, dist);
+        prop_assert!(s.ea >= 0.0 && s.eb >= 0.0);
+        prop_assert!(s.total() >= dist * (1.0 - 1e-9));
+        let da = m.wire_delay(s.ea, ca) + ta;
+        let db = m.wire_delay(s.eb, cb) + tb;
+        let scale = da.abs().max(db.abs()).max(1e-30);
+        prop_assert!((da - db).abs() <= 1e-9 * scale, "imbalance {} vs {}", da, db);
+    }
+
+    #[test]
+    fn balance_split_without_snaking_is_tight(
+        m in model(),
+        ca in cap(), cb in cap(),
+        dist in 1.0..2e4f64,
+    ) {
+        // Equal subtree delays: split is interior, total equals dist.
+        let s = m.balance_split(1e-13, ca, 1e-13, cb, dist);
+        prop_assert!((s.total() - dist).abs() <= 1e-9 * dist);
+    }
+
+    #[test]
+    fn extension_inverts_wire_delay(
+        m in model(),
+        extra in 0.0..1e-10f64,
+        c in cap(),
+    ) {
+        let e = m.extension_for_delay(extra, c);
+        prop_assert!(e >= 0.0);
+        let back = m.wire_delay(e, c);
+        prop_assert!((back - extra).abs() <= 1e-10 * extra.max(1e-30));
+    }
+
+    #[test]
+    fn feasible_splits_satisfy_the_spread_definition(
+        m in model(),
+        ca in cap(), cb in cap(),
+        total in 10.0..2e4f64,
+        lo_a in small_delay(), wa in 0.0..1e-13f64,
+        lo_b in small_delay(), wb in 0.0..1e-13f64,
+        extra_bound in 0.0..5e-13f64,
+    ) {
+        // Bound always >= each child's spread, as the engine guarantees.
+        let bound = wa.max(wb) + extra_bound;
+        let cons = SharedConstraint { lo_a, hi_a: lo_a + wa, lo_b, hi_b: lo_b + wb, bound };
+        let set = feasible_splits(&m, ca, cb, total, &[cons], 1e-22);
+        for x in set.sample(7) {
+            prop_assert!(x >= -1e-9 && x <= total + 1e-9);
+            let da = m.wire_delay(x.max(0.0), ca);
+            let db = m.wire_delay((total - x).max(0.0), cb);
+            let hi = (da + cons.hi_a).max(db + cons.hi_b);
+            let lo = (da + cons.lo_a).min(db + cons.lo_b);
+            // Tolerance: root-finding precision on delays.
+            prop_assert!(hi - lo <= bound + 1e-9 * hi.abs().max(1e-30),
+                "spread {} exceeds bound {} at split {}", hi - lo, bound, x);
+        }
+    }
+
+    #[test]
+    fn infeasible_sets_become_feasible_at_min_total(
+        m in model(),
+        ca in cap(), cb in cap(),
+        dist in 1.0..1e3f64,
+        imbalance in 1e-13..1e-10f64,
+    ) {
+        let cons = SharedConstraint::zero_skew(imbalance, 0.0);
+        if let Some(t) = min_total_for_feasibility(&m, ca, cb, dist, &[cons], 1e-22) {
+            prop_assert!(t >= dist);
+            let set = feasible_splits(&m, ca, cb, t * (1.0 + 1e-9) + 1e-12, &[cons], 1e-22);
+            prop_assert!(!set.is_empty(), "infeasible at claimed minimum total {t}");
+            if t > dist * (1.0 + 1e-6) {
+                // Strictly snaked: shrinking below the minimum must fail.
+                let below = feasible_splits(&m, ca, cb, t * 0.999, &[cons], 1e-22);
+                prop_assert!(below.is_empty(), "feasible below the claimed minimum");
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_zero_skew_groups_never_feasible(
+        m in model(),
+        ca in cap(), cb in cap(),
+        total in 1.0..1e4f64,
+        t1 in 1e-13..1e-11f64,
+        gap in 1e-13..1e-11f64,
+    ) {
+        // Two zero-skew groups demanding different δ at the same merge.
+        let g1 = SharedConstraint::zero_skew(t1, 0.0);
+        let g2 = SharedConstraint::zero_skew(t1 + gap, 0.0);
+        prop_assert!(feasible_splits(&m, ca, cb, total, &[g1, g2], 1e-22).is_empty());
+        prop_assert!(min_total_for_feasibility(&m, ca, cb, total, &[g1, g2], 1e-22).is_none());
+    }
+
+    #[test]
+    fn wire_delay_is_monotone_in_length_and_load(
+        m in model(),
+        l1 in 0.0..1e4f64, l2 in 0.0..1e4f64,
+        c1 in cap(), c2 in cap(),
+    ) {
+        let (llo, lhi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let (clo, chi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(m.wire_delay(llo, clo) <= m.wire_delay(lhi, clo) + 1e-30);
+        prop_assert!(m.wire_delay(llo, clo) <= m.wire_delay(llo, chi) + 1e-30);
+    }
+
+    #[test]
+    fn delay_quad_matches_wire_delay(
+        m in model(),
+        len in 0.0..1e4f64,
+        c in cap(),
+    ) {
+        let q = m.delay_quad(c);
+        let d = m.wire_delay(len, c);
+        prop_assert!((q.eval(len) - d).abs() <= 1e-12 * d.max(1e-30));
+    }
+}

@@ -1,0 +1,86 @@
+//! Subtree-root candidates: exact iso-delay embeddings with provenance.
+
+use astdme_geom::Trr;
+
+use crate::DelayMap;
+
+/// How a candidate came to be — the provenance used by top-down embedding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CandKind {
+    /// A leaf: the subtree is the single sink with this index.
+    Leaf(usize),
+    /// A merge of two child nodes' candidates.
+    Merge {
+        /// Index of the chosen candidate within the first child node.
+        cand_a: usize,
+        /// Index of the chosen candidate within the second child node.
+        cand_b: usize,
+        /// Electrical wire length from the merge point to child `a`'s root.
+        ea: f64,
+        /// Electrical wire length from the merge point to child `b`'s root.
+        eb: f64,
+    },
+}
+
+/// One feasible embedding of a subtree root.
+///
+/// Everything here is exact for any root position inside `region`:
+/// the [`Trr`] is an iso-delay locus, so `delays`, `cap` and `wirelen` do
+/// not depend on where in the region the root lands during top-down
+/// embedding. A subtree keeps a small set of candidates (different wire
+/// splits of its last merge); the parent merge chooses among them.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Candidate {
+    /// Feasible root positions (all equivalent for delay purposes).
+    pub region: Trr,
+    /// Exact per-group delay intervals from the root.
+    pub delays: DelayMap,
+    /// Total load capacitance of the subtree (sinks + wire).
+    pub cap: f64,
+    /// Total wirelength accumulated below (and including) this root's
+    /// merge, in µm of routed wire (snaking included).
+    pub wirelen: f64,
+    /// Provenance for top-down embedding.
+    pub kind: CandKind,
+}
+
+impl Candidate {
+    /// Total wire this merge spent, per the provenance (0 for leaves).
+    pub fn merge_wire(&self) -> f64 {
+        match self.kind {
+            CandKind::Leaf(_) => 0.0,
+            CandKind::Merge { ea, eb, .. } => ea + eb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayMap, GroupId};
+    use astdme_geom::Point;
+
+    #[test]
+    fn merge_wire_reads_provenance() {
+        let leaf = Candidate {
+            region: Trr::from_point(Point::new(0.0, 0.0)),
+            delays: DelayMap::leaf(GroupId(0)),
+            cap: 1e-14,
+            wirelen: 0.0,
+            kind: CandKind::Leaf(7),
+        };
+        assert_eq!(leaf.merge_wire(), 0.0);
+        let merged = Candidate {
+            kind: CandKind::Merge {
+                cand_a: 0,
+                cand_b: 1,
+                ea: 3.0,
+                eb: 4.5,
+            },
+            ..leaf
+        };
+        assert_eq!(merged.merge_wire(), 7.5);
+    }
+}

@@ -1,0 +1,328 @@
+//! Per-group delay bookkeeping for subtree roots.
+
+use core::fmt;
+
+use crate::GroupId;
+
+/// The interval of root-to-sink delays for one group within a subtree.
+///
+/// A subtree satisfying a group's skew bound has `hi - lo <= bound`; once
+/// two sinks share a subtree their delay difference is frozen (any upstream
+/// wire delays both equally), which is why bounds are enforced at merge
+/// time and never re-checked above.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DelayRange {
+    /// Fastest sink of the group in this subtree (seconds from the root).
+    pub lo: f64,
+    /// Slowest sink of the group in this subtree.
+    pub hi: f64,
+}
+
+impl DelayRange {
+    /// A degenerate range (single delay).
+    #[inline]
+    pub fn point(t: f64) -> Self {
+        Self { lo: t, hi: t }
+    }
+
+    /// `hi - lo`: the group's delay spread in this subtree.
+    #[inline]
+    pub fn spread(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Both ends shifted by a common wire delay `d`.
+    #[inline]
+    pub fn shift(&self, d: f64) -> Self {
+        Self {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// Smallest range covering both inputs (merging two subtrees' sinks of
+    /// the same group).
+    #[inline]
+    pub fn hull(&self, other: &Self) -> Self {
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for DelayRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3e}, {:.3e}]", self.lo, self.hi)
+    }
+}
+
+/// Sorted map from [`GroupId`] to [`DelayRange`]: for every group with at
+/// least one sink in the subtree, the exact interval of root-to-sink
+/// delays.
+///
+/// This is the state that makes associative-skew merging compositional:
+/// the four merge cases of the paper's Fig. 6 reduce to which groups two
+/// maps share.
+///
+/// ```
+/// use astdme_engine::{DelayMap, DelayRange, GroupId};
+///
+/// let a = DelayMap::leaf(GroupId(0));
+/// let b = DelayMap::leaf(GroupId(1));
+/// let m = a.shifted(1e-12).merge(&b.shifted(2e-12));
+/// assert_eq!(m.groups().count(), 2);
+/// assert_eq!(m.range(GroupId(0)).unwrap().lo, 1e-12);
+/// assert_eq!(m.range(GroupId(1)).unwrap().hi, 2e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DelayMap {
+    // Sorted by GroupId; typically 1-4 entries, so a Vec beats any map.
+    entries: Vec<(GroupId, DelayRange)>,
+}
+
+impl DelayMap {
+    /// The map of a leaf subtree: one group at delay zero.
+    pub fn leaf(g: GroupId) -> Self {
+        Self {
+            entries: vec![(g, DelayRange::point(0.0))],
+        }
+    }
+
+    /// Builds from entries, sorting by group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group appears twice.
+    pub fn from_entries(mut entries: Vec<(GroupId, DelayRange)>) -> Self {
+        entries.sort_by_key(|(g, _)| *g);
+        for w in entries.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate group {} in delay map", w[0].0);
+        }
+        Self { entries }
+    }
+
+    /// The delay range for group `g`, if present.
+    pub fn range(&self, g: GroupId) -> Option<DelayRange> {
+        self.entries
+            .binary_search_by_key(&g, |(gg, _)| *gg)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Iterates `(group, range)` pairs in ascending group order.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, DelayRange)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Iterates the groups present.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.entries.iter().map(|(g, _)| *g)
+    }
+
+    /// Number of groups present.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// All ranges shifted by a common wire delay `d` (the effect of the
+    /// wire from a new merge point down to this subtree's root).
+    pub fn shifted(&self, d: f64) -> Self {
+        Self {
+            entries: self
+                .entries
+                .iter()
+                .map(|(g, r)| (*g, r.shift(d)))
+                .collect(),
+        }
+    }
+
+    /// Groups present in both maps, ascending — the "shared groups" that
+    /// constrain a merge (empty ⇒ the paper's different-groups case).
+    pub fn shared_groups(&self, other: &Self) -> Vec<GroupId> {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.entries[i].0);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Merges two maps (ranges hulled for shared groups). Callers are
+    /// responsible for shifting each side by its wire delay first.
+    pub fn merge(&self, other: &Self) -> Self {
+        let (mut i, mut j) = (0, 0);
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        while i < self.entries.len() || j < other.entries.len() {
+            if j >= other.entries.len() {
+                entries.push(self.entries[i]);
+                i += 1;
+            } else if i >= self.entries.len() {
+                entries.push(other.entries[j]);
+                j += 1;
+            } else {
+                match self.entries[i].0.cmp(&other.entries[j].0) {
+                    std::cmp::Ordering::Less => {
+                        entries.push(self.entries[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        entries.push(other.entries[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        entries.push((
+                            self.entries[i].0,
+                            self.entries[i].1.hull(&other.entries[j].1),
+                        ));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        Self { entries }
+    }
+
+    /// The largest spread across all groups (for invariant checks).
+    pub fn max_spread(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(_, r)| r.spread())
+            .fold(0.0, f64::max)
+    }
+
+    /// Extremes over all groups: `(min lo, max hi)`, or `None` if empty.
+    pub fn overall_range(&self) -> Option<DelayRange> {
+        let lo = self.entries.iter().map(|(_, r)| r.lo).fold(f64::INFINITY, f64::min);
+        let hi = self
+            .entries
+            .iter()
+            .map(|(_, r)| r.hi)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(DelayRange { lo, hi })
+        }
+    }
+}
+
+impl fmt::Display for DelayMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (g, r)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{g}: {r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    #[test]
+    fn leaf_is_zero_point() {
+        let m = DelayMap::leaf(g(3));
+        assert_eq!(m.group_count(), 1);
+        let r = m.range(g(3)).unwrap();
+        assert_eq!((r.lo, r.hi), (0.0, 0.0));
+        assert!(m.range(g(0)).is_none());
+    }
+
+    #[test]
+    fn shift_moves_all_ranges() {
+        let m = DelayMap::from_entries(vec![
+            (g(0), DelayRange { lo: 1.0, hi: 2.0 }),
+            (g(1), DelayRange::point(5.0)),
+        ])
+        .shifted(10.0);
+        assert_eq!(m.range(g(0)).unwrap().lo, 11.0);
+        assert_eq!(m.range(g(1)).unwrap().hi, 15.0);
+        // Spread is invariant under shift.
+        assert_eq!(m.range(g(0)).unwrap().spread(), 1.0);
+    }
+
+    #[test]
+    fn shared_groups_intersection() {
+        let a = DelayMap::from_entries(vec![
+            (g(0), DelayRange::point(0.0)),
+            (g(2), DelayRange::point(0.0)),
+            (g(5), DelayRange::point(0.0)),
+        ]);
+        let b = DelayMap::from_entries(vec![
+            (g(2), DelayRange::point(0.0)),
+            (g(3), DelayRange::point(0.0)),
+            (g(5), DelayRange::point(0.0)),
+        ]);
+        assert_eq!(a.shared_groups(&b), vec![g(2), g(5)]);
+        assert_eq!(DelayMap::leaf(g(0)).shared_groups(&DelayMap::leaf(g(1))), vec![]);
+    }
+
+    #[test]
+    fn merge_hulls_shared_ranges() {
+        let a = DelayMap::from_entries(vec![(g(0), DelayRange { lo: 1.0, hi: 2.0 })]);
+        let b = DelayMap::from_entries(vec![
+            (g(0), DelayRange { lo: 0.5, hi: 1.5 }),
+            (g(1), DelayRange::point(7.0)),
+        ]);
+        let m = a.merge(&b);
+        assert_eq!(m.group_count(), 2);
+        let r0 = m.range(g(0)).unwrap();
+        assert_eq!((r0.lo, r0.hi), (0.5, 2.0));
+        assert_eq!(m.range(g(1)).unwrap().lo, 7.0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = DelayMap::from_entries(vec![
+            (g(0), DelayRange { lo: 0.0, hi: 1.0 }),
+            (g(2), DelayRange::point(3.0)),
+        ]);
+        let b = DelayMap::from_entries(vec![
+            (g(1), DelayRange::point(4.0)),
+            (g(2), DelayRange { lo: 2.0, hi: 5.0 }),
+        ]);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn max_spread_and_overall_range() {
+        let m = DelayMap::from_entries(vec![
+            (g(0), DelayRange { lo: 1.0, hi: 4.0 }),
+            (g(1), DelayRange { lo: 0.0, hi: 2.0 }),
+        ]);
+        assert_eq!(m.max_spread(), 3.0);
+        let o = m.overall_range().unwrap();
+        assert_eq!((o.lo, o.hi), (0.0, 4.0));
+        assert!(DelayMap::default().overall_range().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate group")]
+    fn duplicate_groups_rejected() {
+        let _ = DelayMap::from_entries(vec![
+            (g(0), DelayRange::point(0.0)),
+            (g(0), DelayRange::point(1.0)),
+        ]);
+    }
+}

@@ -1,0 +1,1156 @@
+//! The merge forest: bottom-up subtree merging with group-aware skew
+//! feasibility, snaking, and offset adjustment.
+//!
+//! This implements the body of the AST-DME algorithm (Kim 2006, Fig. 6).
+//! The four cases distinguished there fall out of the shared-group
+//! structure of the two children's [`DelayMap`]s:
+//!
+//! | paper case | shared groups | behaviour here |
+//! |---|---|---|
+//! | same group (step 4) | all, windows overlap | classic DME/BST split |
+//! | different groups (step 5) | none | SDR: every split `[0, D]` feasible |
+//! | share one group (step 6) | some, windows overlap | constrained window |
+//! | share several groups (step 7) | some, windows conflict | offset adjustment (wire sneaking, Eqs. 5.1–5.3) |
+//!
+//! plus wire snaking whenever the feasible δ-window is out of reach at the
+//! geometric distance (the classic detour case of exact zero-skew routing).
+
+use astdme_delay::{
+    feasible_splits, intersect_delta_windows, min_total_for_feasibility, DelayModel,
+    SharedConstraint,
+};
+use astdme_geom::{merge_locus, Interval, Point, Trr};
+
+use crate::{
+    CandKind, Candidate, DelayMap, EngineConfig, GroupId, Instance, RoutedNode, RoutedTree,
+};
+
+/// Identifier of a subtree (node) in a [`MergeForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The node's index in creation order (leaves first).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from an index previously obtained via
+    /// [`NodeId::index`]. Using indices from a different forest yields
+    /// stale ids, which panic on use.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(i)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    cands: Vec<Candidate>,
+    children: Option<(NodeId, NodeId)>,
+    sink: Option<usize>,
+}
+
+/// Bottom-up merge state for one routing run.
+///
+/// Leaves are created first (one per sink); [`MergeForest::merge`] combines
+/// two subtrees into a new one, enforcing every shared group's skew bound;
+/// [`MergeForest::embed`] turns the finished root into a [`RoutedTree`].
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct MergeForest {
+    nodes: Vec<Node>,
+    model: DelayModel,
+    bounds: Vec<f64>,
+    cfg: EngineConfig,
+    leaves: usize,
+    residual: f64,
+    // Global group fusion (cfg.fuse_groups): union-find over groups plus
+    // the prescribed offset of each original group relative to its class
+    // reference (adjusted delay = real delay - phi).
+    class_parent: Vec<u32>,
+    phi: Vec<f64>,
+}
+
+impl MergeForest {
+    /// Creates an empty forest for a given delay model and per-group skew
+    /// bounds (seconds, indexed by group).
+    pub fn new(model: DelayModel, bounds: Vec<f64>, cfg: EngineConfig) -> Self {
+        let k = bounds.len();
+        Self {
+            nodes: Vec::new(),
+            model,
+            bounds,
+            cfg,
+            leaves: 0,
+            residual: 0.0,
+            class_parent: (0..k as u32).collect(),
+            phi: vec![0.0; k],
+        }
+    }
+
+    /// Creates a forest for `inst` using its RC technology under the Elmore
+    /// model, with one leaf per sink.
+    pub fn for_instance(inst: &Instance, cfg: EngineConfig) -> Self {
+        Self::for_instance_with_model(inst, DelayModel::elmore(*inst.rc()), cfg)
+    }
+
+    /// Like [`MergeForest::for_instance`] but with an explicit delay model
+    /// (e.g. [`DelayModel::Pathlength`] for the ablation of Ch. III).
+    pub fn for_instance_with_model(
+        inst: &Instance,
+        model: DelayModel,
+        cfg: EngineConfig,
+    ) -> Self {
+        let mut f = Self::new(model, inst.groups().bounds().to_vec(), cfg);
+        for (i, s) in inst.sinks().iter().enumerate() {
+            f.add_leaf(i, s.pos, s.cap, inst.group_of(i));
+        }
+        f
+    }
+
+    /// Adds a leaf subtree for sink `sink_idx` and returns its node.
+    pub fn add_leaf(&mut self, sink_idx: usize, pos: Point, cap: f64, group: GroupId) -> NodeId {
+        debug_assert!(
+            group.index() < self.bounds.len(),
+            "group {group} has no declared bound"
+        );
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            cands: vec![Candidate {
+                region: Trr::from_point(pos),
+                delays: DelayMap::leaf(group),
+                cap,
+                wirelen: 0.0,
+                kind: CandKind::Leaf(sink_idx),
+            }],
+            children: None,
+            sink: Some(sink_idx),
+        });
+        self.leaves += 1;
+        id
+    }
+
+    /// Node ids of all leaves, in insertion order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.sink.is_some())
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// The candidates of a node.
+    pub fn candidates(&self, id: NodeId) -> &[Candidate] {
+        &self.nodes[id.0].cands
+    }
+
+    /// The children of a node, if it is a merge.
+    pub fn children(&self, id: NodeId) -> Option<(NodeId, NodeId)> {
+        self.nodes[id.0].children
+    }
+
+    /// A representative region for neighbor queries: the hull of the node's
+    /// candidate regions (TRRs are closed under hull).
+    pub fn representative_region(&self, id: NodeId) -> Trr {
+        let cands = &self.nodes[id.0].cands;
+        let mut hull = cands[0].region;
+        for c in &cands[1..] {
+            hull = hull.hull(&c.region);
+        }
+        hull
+    }
+
+    /// Minimum distance between the best candidates of two nodes — the
+    /// merging cost used for nearest-neighbor selection.
+    pub fn merge_distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let mut best = f64::INFINITY;
+        for ca in &self.nodes[a.0].cands {
+            for cb in &self.nodes[b.0].cands {
+                best = best.min(ca.region.distance(&cb.region));
+            }
+        }
+        best
+    }
+
+    /// Estimated wire cost of merging one candidate pair: the geometric
+    /// distance plus any snaking the shared-group δ-windows force, plus a
+    /// proxy for offset-conflict resolution cost. This is what makes the
+    /// engine prefer offset-compatible partners — the quantity the paper's
+    /// "minimum merging-cost" scheme needs on difficult instances.
+    fn pair_cost_estimate(&self, a: NodeId, b: NodeId, ia: usize, ib: usize) -> f64 {
+        let (ca, cb) = (&self.nodes[a.0].cands[ia], &self.nodes[b.0].cands[ib]);
+        let d = ca.region.distance(&cb.region);
+        let cons = self.shared_constraints(a, b, ia, ib);
+        match intersect_delta_windows(&cons, self.cfg.skew_tol) {
+            Some(None) => d,
+            Some(Some(w)) => {
+                let mut need = d;
+                if w.lo() > 0.0 {
+                    need = need.max(self.model.extension_for_delay(w.lo(), ca.cap));
+                }
+                if w.hi() < 0.0 {
+                    need = need.max(self.model.extension_for_delay(-w.hi(), cb.cap));
+                }
+                need
+            }
+            None => {
+                // Conflict: the windows' spread must be paid as relative
+                // shifts somewhere inside a child. Approximate with the
+                // wire needed to realize the full spread against the
+                // smaller load.
+                let mids: Vec<f64> = cons
+                    .iter()
+                    .map(|c| 0.5 * ((c.hi_b - c.lo_a - c.bound) + (c.bound + c.lo_b - c.hi_a)))
+                    .collect();
+                let spread = mids.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    - mids.iter().cloned().fold(f64::INFINITY, f64::min);
+                d + self.model.extension_for_delay(spread.max(0.0), ca.cap.min(cb.cap))
+            }
+        }
+    }
+
+    /// Minimum estimated merge cost over all candidate pairs (see
+    /// [`MergeForest::merge_distance`] for the purely geometric variant).
+    pub fn merge_cost(&self, a: NodeId, b: NodeId) -> f64 {
+        let mut best = f64::INFINITY;
+        for ia in 0..self.nodes[a.0].cands.len() {
+            for ib in 0..self.nodes[b.0].cands.len() {
+                best = best.min(self.pair_cost_estimate(a, b, ia, ib));
+            }
+        }
+        best
+    }
+
+    /// The largest root-to-sink delay among a node's candidates (used by
+    /// the delay-target merging-order enhancement, Ch. V.F).
+    pub fn max_delay(&self, id: NodeId) -> f64 {
+        self.nodes[id.0]
+            .cands
+            .iter()
+            .filter_map(|c| c.delays.overall_range().map(|r| r.hi))
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst skew-bound violation accepted so far (seconds); zero on any
+    /// instance the engine solved exactly. Non-zero values indicate an
+    /// irreconcilable offset conflict that even wire sneaking could not
+    /// repair (see module docs) and are surfaced by the audit as well.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Number of nodes (leaves + merges) created so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Merges subtrees `a` and `b` into a new subtree, satisfying every
+    /// shared group's skew bound, snaking or adjusting offsets as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either id is stale.
+    pub fn merge(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert!(a != b, "cannot merge a node with itself");
+        // Rank child-candidate pairs by estimated merge cost (distance plus
+        // forced snaking / conflict-resolution cost); expand the best few.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for ia in 0..self.nodes[a.0].cands.len() {
+            for ib in 0..self.nodes[b.0].cands.len() {
+                pairs.push((self.pair_cost_estimate(a, b, ia, ib), ia, ib));
+            }
+        }
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("costs are not NaN"));
+        pairs.truncate(self.cfg.pair_limit);
+
+        let mut cands: Vec<Candidate> = Vec::new();
+        let mut worst_residual = 0.0f64;
+        for &(_, ia, ib) in &pairs {
+            let (new_cands, residual) = self.expand_pair(a, b, ia, ib);
+            worst_residual = worst_residual.max(residual);
+            cands.extend(new_cands);
+        }
+        if std::env::var_os("ASTDME_DEBUG").is_some() {
+            if let Some(c) = cands.first() {
+                let d = self.nodes[a.0].cands[0]
+                    .region
+                    .distance(&self.nodes[b.0].cands[0].region);
+                if c.merge_wire() > 20.0 * (d + 100.0) {
+                    eprintln!(
+                        "[bigmerge] {}x{}: wire {:.0} vs dist {:.0}",
+                        a.0,
+                        b.0,
+                        c.merge_wire(),
+                        d
+                    );
+                }
+            }
+        }
+        if cands.is_empty() {
+            // All pairs failed even best-effort: should be unreachable, but
+            // degrade gracefully with the closest pair at face value.
+            let (_, ia, ib) = pairs[0];
+            let d = self.nodes[a.0].cands[ia]
+                .region
+                .distance(&self.nodes[b.0].cands[ib].region);
+            let half = 0.5 * d;
+            cands.push(self.build_candidate(a, b, ia, ib, half, d - half));
+        }
+        Self::prune(&mut cands, self.cfg.max_candidates);
+        self.residual = self.residual.max(worst_residual);
+        if self.cfg.fuse_groups {
+            self.fuse_classes(&mut cands);
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            cands,
+            children: Some((a, b)),
+            sink: None,
+        });
+        id
+    }
+
+    /// Fuses the effective classes co-resident in a freshly merged node
+    /// (Fig. 6 steps 6-7): the best candidate's realized inter-class offset
+    /// becomes the prescribed offset; candidates realizing a different
+    /// offset are dropped (they would violate the prescription downstream).
+    fn fuse_classes(&mut self, cands: &mut Vec<Candidate>) {
+        let classes = self.effective_entries(&cands[0].delays);
+        debug_assert!(
+            classes.len() <= 2,
+            "children each carry one class, so a merge sees at most two"
+        );
+        if classes.len() != 2 {
+            return;
+        }
+        let (keep, absorb) = (classes[0].0, classes[1].0);
+        let delta = classes[1].1 - classes[0].1;
+        // Retain offset-consistent candidates (the best always is).
+        let keep_tol = self.cfg.skew_tol.max(1e-12 * delta.abs());
+        cands.retain(|c| {
+            let e = self.effective_entries(&c.delays);
+            e.len() == 2 && (e[1].1 - e[0].1 - delta).abs() <= keep_tol
+        });
+        debug_assert!(!cands.is_empty(), "best candidate is always consistent");
+        // Prescribe: adjusted delays of the absorbed class align with the
+        // kept class from now on, everywhere.
+        for g in 0..self.phi.len() {
+            if self.class_of(GroupId(g as u32)) == absorb {
+                self.phi[g] += delta;
+            }
+        }
+        self.class_parent[absorb as usize] = keep;
+    }
+
+    /// Expands one child-candidate pair into merged candidates. Returns the
+    /// candidates plus the skew residual incurred (0 when solved exactly).
+    fn expand_pair(&mut self, a: NodeId, b: NodeId, ia: usize, ib: usize) -> (Vec<Candidate>, f64) {
+        let cons = self.shared_constraints(a, b, ia, ib);
+        let (ca, cb) = (&self.nodes[a.0].cands[ia], &self.nodes[b.0].cands[ib]);
+        let d = ca.region.distance(&cb.region);
+        let (cap_a, cap_b) = (ca.cap, cb.cap);
+
+        // Case 1-3: a feasible split window exists at distance d.
+        let set = feasible_splits(&self.model, cap_a, cap_b, d, &cons, self.cfg.skew_tol);
+        if !set.is_empty() {
+            return (self.sample_candidates(a, b, ia, ib, d, &set), 0.0);
+        }
+        // Snaking: the window exists but needs more wire than d.
+        if let Some(t) = min_total_for_feasibility(&self.model, cap_a, cap_b, d, &cons, self.cfg.skew_tol) {
+            let t = t + (t * 1e-12).max(1e-9);
+            let set = feasible_splits(&self.model, cap_a, cap_b, t, &cons, self.cfg.skew_tol);
+            if !set.is_empty() {
+                return (self.sample_candidates(a, b, ia, ib, t, &set), 0.0);
+            }
+        }
+        // Case 4: conflicting δ-windows — only re-balancing inside a child
+        // can align the groups (the paper's wire sneaking, Fig. 5).
+        let debug = std::env::var_os("ASTDME_DEBUG").is_some();
+        if debug {
+            eprintln!(
+                "[conflict] merge {}x{} cands {ia},{ib}: {} shared groups",
+                a.0,
+                b.0,
+                cons.len()
+            );
+            for c in &cons {
+                eprintln!(
+                    "  cons: a=[{:.6e},{:.6e}] b=[{:.6e},{:.6e}] bound={:.1e} spread_a={:.2e} spread_b={:.2e}",
+                    c.lo_a, c.hi_a, c.lo_b, c.hi_b, c.bound,
+                    c.hi_a - c.lo_a, c.hi_b - c.lo_b
+                );
+            }
+        }
+        if let Some((ia2, ib2)) = self.adjust_offsets(a, b, ia, ib) {
+            let cons2 = self.shared_constraints(a, b, ia2, ib2);
+            let (ca2, cb2) = (&self.nodes[a.0].cands[ia2], &self.nodes[b.0].cands[ib2]);
+            let d2 = ca2.region.distance(&cb2.region);
+            let (cap_a2, cap_b2) = (ca2.cap, cb2.cap);
+            let set = feasible_splits(&self.model, cap_a2, cap_b2, d2, &cons2, self.cfg.skew_tol);
+            if !set.is_empty() {
+                return (self.sample_candidates(a, b, ia2, ib2, d2, &set), 0.0);
+            }
+            if let Some(t) = min_total_for_feasibility(&self.model, cap_a2, cap_b2, d2, &cons2, self.cfg.skew_tol) {
+                let t = t + (t * 1e-12).max(1e-9);
+                let set = feasible_splits(&self.model, cap_a2, cap_b2, t, &cons2, self.cfg.skew_tol);
+                if !set.is_empty() {
+                    return (self.sample_candidates(a, b, ia2, ib2, t, &set), 0.0);
+                }
+            }
+        }
+        // Best effort: minimize the worst window violation.
+        if debug {
+            eprintln!("[conflict] -> best_effort");
+        }
+        self.best_effort(a, b, ia, ib, &cons)
+    }
+
+    /// The effective (fused) class of a group.
+    pub fn class_of(&self, g: GroupId) -> u32 {
+        let mut c = g.0;
+        while self.class_parent[c as usize] != c {
+            c = self.class_parent[c as usize];
+        }
+        c
+    }
+
+    /// The prescribed offset of a group relative to its class reference.
+    pub fn class_offset(&self, g: GroupId) -> f64 {
+        self.phi[g.index()]
+    }
+
+    /// Per-class adjusted delay hulls of a delay map:
+    /// `(class, adj_lo, adj_hi, min member bound)`, ascending by class.
+    fn effective_entries(&self, delays: &DelayMap) -> Vec<(u32, f64, f64, f64)> {
+        let mut out: Vec<(u32, f64, f64, f64)> = Vec::with_capacity(delays.group_count());
+        for (g, r) in delays.iter() {
+            let c = self.class_of(g);
+            let (lo, hi) = (r.lo - self.phi[g.index()], r.hi - self.phi[g.index()]);
+            let b = self.bounds[g.index()];
+            match out.iter_mut().find(|(cc, ..)| *cc == c) {
+                Some((_, l, h, bb)) => {
+                    *l = l.min(lo);
+                    *h = h.max(hi);
+                    *bb = bb.min(b);
+                }
+                None => out.push((c, lo, hi, b)),
+            }
+        }
+        out.sort_by_key(|(c, ..)| *c);
+        out
+    }
+
+    /// Shared-group constraints between two candidates. With group fusion
+    /// on, constraints are per effective class over offset-adjusted delays;
+    /// otherwise per original group.
+    fn shared_constraints(&self, a: NodeId, b: NodeId, ia: usize, ib: usize) -> Vec<SharedConstraint> {
+        let (ca, cb) = (&self.nodes[a.0].cands[ia], &self.nodes[b.0].cands[ib]);
+        if self.cfg.fuse_groups {
+            let (ea, eb) = (
+                self.effective_entries(&ca.delays),
+                self.effective_entries(&cb.delays),
+            );
+            let mut cons = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < ea.len() && j < eb.len() {
+                match ea[i].0.cmp(&eb[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        cons.push(SharedConstraint {
+                            lo_a: ea[i].1,
+                            hi_a: ea[i].2,
+                            lo_b: eb[j].1,
+                            hi_b: eb[j].2,
+                            bound: ea[i].3.min(eb[j].3),
+                        });
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            return cons;
+        }
+        ca.delays
+            .shared_groups(&cb.delays)
+            .into_iter()
+            .map(|g| {
+                let ra = ca.delays.range(g).expect("shared group present in a");
+                let rb = cb.delays.range(g).expect("shared group present in b");
+                SharedConstraint {
+                    lo_a: ra.lo,
+                    hi_a: ra.hi,
+                    lo_b: rb.lo,
+                    hi_b: rb.hi,
+                    bound: self.bounds[g.index()],
+                }
+            })
+            .collect()
+    }
+
+    /// Builds candidates for sampled splits of a feasible set.
+    fn sample_candidates(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        total: f64,
+        set: &astdme_delay::IntervalSet,
+    ) -> Vec<Candidate> {
+        set.sample(self.cfg.split_samples)
+            .into_iter()
+            .map(|ea| {
+                let ea = ea.clamp(0.0, total);
+                self.build_candidate(a, b, ia, ib, ea, total - ea)
+            })
+            .collect()
+    }
+
+    /// Constructs the merged candidate for an explicit wire split.
+    fn build_candidate(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        ea: f64,
+        eb: f64,
+    ) -> Candidate {
+        let (ca, cb) = (&self.nodes[a.0].cands[ia], &self.nodes[b.0].cands[ib]);
+        let da = self.model.wire_delay(ea, ca.cap);
+        let db = self.model.wire_delay(eb, cb.cap);
+        let region = merge_locus(&ca.region, &cb.region, ea, eb)
+            .expect("split must cover the geometric distance");
+        Candidate {
+            region,
+            delays: ca.delays.shifted(da).merge(&cb.delays.shifted(db)),
+            cap: ca.cap + cb.cap + self.model.wire_cap(ea + eb),
+            wirelen: ca.wirelen + cb.wirelen + ea + eb,
+            kind: CandKind::Merge {
+                cand_a: ia,
+                cand_b: ib,
+                ea,
+                eb,
+            },
+        }
+    }
+
+    /// Attempts to re-balance one child's last merge so that the conflicting
+    /// δ-windows of this merge align (Kim 2006, Ch. V.E instance 2).
+    ///
+    /// Returns candidate indices to use instead, or `None` if neither side
+    /// can be adjusted.
+    fn adjust_offsets(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+    ) -> Option<(usize, usize)> {
+        // Prefer adjusting the subtree with smaller load (cheaper snake).
+        let order = if self.nodes[a.0].cands[ia].cap <= self.nodes[b.0].cands[ib].cap {
+            [(a, ia, b, ib, true), (b, ib, a, ia, false)]
+        } else {
+            [(b, ib, a, ia, false), (a, ia, b, ib, true)]
+        };
+        for (child, ic, other, io, child_is_a) in order {
+            if let Some(new_ic) = self.adjust_child(child, ic, other, io, child_is_a) {
+                return Some(if child_is_a { (new_ic, ib) } else { (ia, new_ic) });
+            }
+        }
+        None
+    }
+
+    /// Re-derives `child` (recursively where needed) so that its group
+    /// delays align with `other`'s δ-windows: the generalization of the
+    /// paper's wire sneaking (Ch. V.E instance 2) to arbitrarily deep
+    /// offset conflicts.
+    ///
+    /// `child_is_a` says which role `child` plays in the parent merge (the
+    /// δ-window formulas are asymmetric).
+    fn adjust_child(
+        &mut self,
+        child: NodeId,
+        ic: usize,
+        other: NodeId,
+        io: usize,
+        child_is_a: bool,
+    ) -> Option<usize> {
+        let cc = self.nodes[child.0].cands[ic].clone();
+        let oc = self.nodes[other.0].cands[io].clone();
+        let shared = cc.delays.shared_groups(&oc.delays);
+        if shared.len() < 2 {
+            // A single group's window is never self-conflicting.
+            return None;
+        }
+        // δ-windows in the *child-first* orientation (child plays role
+        // "a") regardless of its actual role: intersection emptiness is
+        // orientation invariant, and in this orientation shifting the
+        // group's delays inside `child` by +σ always translates the window
+        // by -σ. The final validation below re-checks in true orientation.
+        let mut windows: Vec<(GroupId, Interval)> = Vec::with_capacity(shared.len());
+        for g in &shared {
+            let rc_g = cc.delays.range(*g).expect("shared group in child");
+            let ro_g = oc.delays.range(*g).expect("shared group in other");
+            let w = SharedConstraint {
+                lo_a: rc_g.lo,
+                hi_a: rc_g.hi,
+                lo_b: ro_g.lo,
+                hi_b: ro_g.hi,
+                bound: self.bounds[g.index()],
+            }
+            .delta_window_with_tol(self.cfg.skew_tol)?;
+            windows.push((*g, w));
+        }
+        // Candidate anchors δ̂: aligning on each group's own window (that
+        // group shifts nothing, the others move to it) plus the median of
+        // window midpoints. The cheapest *realized* adjustment wins —
+        // which shifts are free depends on slack deep inside the child, so
+        // we measure rather than predict.
+        let mut mids: Vec<f64> = windows.iter().map(|(_, w)| w.mid()).collect();
+        mids.sort_by(|x, y| x.partial_cmp(y).expect("window mids not NaN"));
+        let mut anchors: Vec<f64> = mids.clone();
+        anchors.push(mids[mids.len() / 2]);
+        anchors.dedup_by(|x, y| (*x - *y).abs() <= 1e-12 * (y.abs() + 1e-30));
+
+        let mut best: Option<(f64, usize)> = None;
+        for delta_hat in anchors {
+            // Per-group shift: the nearest point of (W_g - δ̂) to zero.
+            let targets: Vec<(GroupId, f64)> = windows
+                .iter()
+                .filter_map(|(g, w)| {
+                    let (lo, hi) = (w.lo() - delta_hat, w.hi() - delta_hat);
+                    let s = if lo > 0.0 {
+                        lo
+                    } else if hi < 0.0 {
+                        hi
+                    } else {
+                        0.0
+                    };
+                    (s != 0.0).then_some((*g, s))
+                })
+                .collect();
+            if targets.is_empty() {
+                continue; // windows already intersect; nothing to adjust
+            }
+            let Some(idx) = self.shift_candidate(child, ic, &targets) else {
+                continue;
+            };
+            // Validate in true orientation (with rounding slack) and cost
+            // the result: the new candidate's wire plus the snake the
+            // parent merge would still need.
+            let cons = if child_is_a {
+                self.shared_constraints(child, other, idx, io)
+            } else {
+                self.shared_constraints(other, child, io, idx)
+            };
+            if intersect_delta_windows(&cons, self.cfg.skew_tol).is_none() {
+                // Leave the unused candidate in place (indices must stay
+                // stable once created); it simply never gets referenced.
+                continue;
+            }
+            let new_c = &self.nodes[child.0].cands[idx];
+            let d = new_c.region.distance(&oc.region);
+            let (cap_c, cap_o) = (new_c.cap, oc.cap);
+            let parent_total = if child_is_a {
+                min_total_for_feasibility(&self.model, cap_c, cap_o, d, &cons, self.cfg.skew_tol)
+            } else {
+                min_total_for_feasibility(&self.model, cap_o, cap_c, d, &cons, self.cfg.skew_tol)
+            }
+            .unwrap_or(d);
+            let cost = new_c.wirelen + parent_total;
+            if best.map_or(true, |(bc, _)| cost < bc) {
+                best = Some((cost, idx));
+            }
+        }
+        best.map(|(_, idx)| idx)
+    }
+
+    /// Builds a new candidate of `node` in which each listed group's delay
+    /// range is shifted by the given amount *relative to* the node's other
+    /// groups (an arbitrary common absolute shift on top is permitted —
+    /// the parent merge absorbs it in its own wire balance).
+    ///
+    /// Recursion: at each merge, the shift decomposes into a common part
+    /// per child (absorbed by that child's merge wire, snaking if needed)
+    /// plus residual relative shifts inside each child. Groups present
+    /// under both children receive consistent shifts on both sides, so
+    /// their alignment (and any bounded spread) is preserved exactly.
+    ///
+    /// Returns the index of the new candidate on `node`, or `None` when a
+    /// shift is infeasible (e.g. it would require negative wire).
+    fn shift_candidate(
+        &mut self,
+        node: NodeId,
+        ic: usize,
+        targets: &[(GroupId, f64)],
+    ) -> Option<usize> {
+        let cand = self.nodes[node.0].cands[ic].clone();
+        let shift_of = |g: GroupId| -> f64 {
+            targets
+                .iter()
+                .find(|(tg, _)| *tg == g)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
+        };
+        // Relative no-op (all groups shifted equally)?
+        let shifts: Vec<f64> = cand.delays.groups().map(shift_of).collect();
+        let s_min = shifts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let s_max = shifts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let scale = s_min.abs().max(s_max.abs());
+        if s_max - s_min <= 1e-12 * scale + 1e-30 {
+            return Some(ic);
+        }
+        let (l, r) = self.nodes[node.0].children?;
+        let CandKind::Merge {
+            cand_a: il,
+            cand_b: ir,
+            ea: el_star,
+            eb: er_star,
+        } = cand.kind
+        else {
+            return None; // leaf with >1 distinct shifts: impossible
+        };
+        let (lc, rc) = (
+            self.nodes[l.0].cands[il].clone(),
+            self.nodes[r.0].cands[ir].clone(),
+        );
+
+        // Decompose per child: common part on the edge, residual recursed.
+        let split_side = |delays: &DelayMap| -> (f64, Vec<(GroupId, f64)>) {
+            let common = delays
+                .groups()
+                .map(shift_of)
+                .fold(f64::INFINITY, f64::min);
+            let residual: Vec<(GroupId, f64)> = delays
+                .groups()
+                .filter_map(|g| {
+                    let s = shift_of(g) - common;
+                    (s.abs() > 1e-12 * scale + 1e-30).then_some((g, s))
+                })
+                .collect();
+            (common, residual)
+        };
+        let (common_l, res_l) = split_side(&lc.delays);
+        let (common_r, res_r) = split_side(&rc.delays);
+
+        let il2 = self.shift_candidate(l, il, &res_l)?;
+        let ir2 = self.shift_candidate(r, ir, &res_r)?;
+        let (lc2, rc2) = (
+            self.nodes[l.0].cands[il2].clone(),
+            self.nodes[r.0].cands[ir2].clone(),
+        );
+        // Recursions may have drifted by a common amount of their own;
+        // re-anchor each edge's common shift against the realized delays.
+        // The drift of a child is measured on any one of its groups, net of
+        // that group's own requested residual shift.
+        let drift = |old: &Candidate, new: &Candidate, res: &[(GroupId, f64)]| -> f64 {
+            let g = old.delays.groups().next().expect("non-empty delay map");
+            let req = res
+                .iter()
+                .find(|(tg, _)| *tg == g)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0);
+            let (o, n) = (
+                old.delays.range(g).expect("anchor group"),
+                new.delays.range(g).expect("anchor group survives shifting"),
+            );
+            (n.lo - o.lo) - req
+        };
+        let dl_star = self.model.wire_delay(el_star, lc.cap);
+        let dr_star = self.model.wire_delay(er_star, rc.cap);
+        // Desired edge delays before the free common shift x:
+        let dl_base = dl_star + common_l - drift(&lc, &lc2, &res_l);
+        let dr_base = dr_star + common_r - drift(&rc, &rc2, &res_r);
+        // Choose the common shift x minimizing total wire subject to
+        // non-negative delays and geometric reachability.
+        let d_lr = lc2.region.distance(&rc2.region);
+        let (el2, er2) = self.solve_common_shift(dl_base, dr_base, lc2.cap, rc2.cap, d_lr)?;
+
+        let new_cand = self.build_candidate(l, r, il2, ir2, el2, er2);
+        let idx = self.nodes[node.0].cands.len();
+        self.nodes[node.0].cands.push(new_cand);
+        Some(idx)
+    }
+
+    /// Finds wire lengths realizing edge delays `dl_base + x` and
+    /// `dr_base + x` for the common shift `x` that minimizes total wire,
+    /// subject to non-negative delays and `el + er >= dist`.
+    fn solve_common_shift(
+        &self,
+        dl_base: f64,
+        dr_base: f64,
+        cap_l: f64,
+        cap_r: f64,
+        dist: f64,
+    ) -> Option<(f64, f64)> {
+        let len_for = |d: f64, cap: f64| -> f64 {
+            self.model.extension_for_delay(d.max(0.0), cap)
+        };
+        let total = |x: f64| -> f64 { len_for(dl_base + x, cap_l) + len_for(dr_base + x, cap_r) };
+        // Smallest admissible x keeps both delays non-negative.
+        let x_min = (-dl_base).max(-dr_base);
+        if total(x_min) >= dist {
+            return Some((len_for(dl_base + x_min, cap_l), len_for(dr_base + x_min, cap_r)));
+        }
+        // Grow x until the children become reachable, then bisect to the
+        // minimum-wire point total(x) == dist.
+        let scale = (dl_base.abs() + dr_base.abs()).max(1e-15);
+        let mut hi = x_min.max(0.0) + scale;
+        let mut guard = 0;
+        while total(hi) < dist {
+            hi = x_min.max(0.0) + (hi - x_min.max(0.0)) * 2.0 + scale;
+            guard += 1;
+            if guard > 200 {
+                return None;
+            }
+        }
+        let mut lo = x_min;
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if total(mid) >= dist {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some((len_for(dl_base + hi, cap_l), len_for(dr_base + hi, cap_r)))
+    }
+
+    /// Fallback when offsets cannot be aligned: merge at the δ minimizing
+    /// the worst window violation and record the residual.
+    fn best_effort(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        cons: &[SharedConstraint],
+    ) -> (Vec<Candidate>, f64) {
+        let (ca, cb) = (&self.nodes[a.0].cands[ia], &self.nodes[b.0].cands[ib]);
+        let d = ca.region.distance(&cb.region);
+        // Minimax point over the windows: midpoint of [max lo, min hi].
+        let mut lo_max = f64::NEG_INFINITY;
+        let mut hi_min = f64::INFINITY;
+        for c in cons {
+            // Use the raw ends even if the window itself is inverted/empty.
+            lo_max = lo_max.max(c.hi_b - c.lo_a - c.bound);
+            hi_min = hi_min.min(c.bound + c.lo_b - c.hi_a);
+        }
+        let (delta_hat, residual) = if lo_max.is_finite() && hi_min.is_finite() {
+            (
+                0.5 * (lo_max + hi_min),
+                (0.5 * (lo_max - hi_min)).max(0.0),
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        // Realize δ̂ with minimal wire: extend one side if out of range.
+        let (cap_a, cap_b) = (ca.cap, cb.cap);
+        let mut total = d;
+        let delta_max = self.model.wire_delay(d, cap_a);
+        let delta_min = -self.model.wire_delay(d, cap_b);
+        if delta_hat > delta_max {
+            total = self
+                .model
+                .extension_for_delay(delta_hat.max(0.0), cap_a)
+                .max(d);
+        } else if delta_hat < delta_min {
+            total = self
+                .model
+                .extension_for_delay((-delta_hat).max(0.0), cap_b)
+                .max(d);
+        }
+        let diff = self
+            .model
+            .delay_quad(cap_a)
+            .sub(&self.model.delay_quad(cap_b).reflect(total))
+            .add_const(-delta_hat);
+        let ea = diff
+            .monotone_root(Interval::new(0.0, total))
+            .unwrap_or(0.5 * total)
+            .clamp(0.0, total);
+        (
+            vec![self.build_candidate(a, b, ia, ib, ea, total - ea)],
+            residual,
+        )
+    }
+
+    /// Keeps the `k` most promising candidates: cheapest wirelength first,
+    /// larger regions (more downstream freedom) on ties.
+    fn prune(cands: &mut Vec<Candidate>, k: usize) {
+        cands.sort_by(|x, y| {
+            let wl = x.wirelen.partial_cmp(&y.wirelen).expect("wirelen not NaN");
+            wl.then(
+                y.region
+                    .diameter()
+                    .partial_cmp(&x.region.diameter())
+                    .expect("diameter not NaN"),
+            )
+        });
+        // Drop near-duplicates (same wirelen, same region within tolerance).
+        cands.dedup_by(|x, y| {
+            (x.wirelen - y.wirelen).abs() <= 1e-9 * (1.0 + y.wirelen)
+                && x.region.hull(&y.region).half_perimeter()
+                    <= y.region.half_perimeter() + 1e-9
+        });
+        cands.truncate(k.max(1));
+    }
+
+    /// Top-down embedding: turns the finished subtree `root` into a routed
+    /// tree connected to `source`.
+    ///
+    /// Picks the root candidate minimizing total wirelength including the
+    /// source connection, then walks the provenance, placing each child at
+    /// the nearest point of its recorded region (snaking detours make up
+    /// any electrical/geometric difference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is stale.
+    pub fn embed(&self, root: NodeId, source: Point) -> RoutedTree {
+        // Choose the root candidate.
+        let (best_idx, _) = self.nodes[root.0]
+            .cands
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.wirelen + c.region.distance_to_point(source)))
+            .min_by(|x, y| x.1.partial_cmp(&y.1).expect("costs not NaN"))
+            .expect("nodes always keep at least one candidate");
+
+        let mut nodes: Vec<RoutedNode> = Vec::new();
+        // Stack of (forest node, candidate index, parent routed index,
+        // electrical wire to parent, parent point).
+        let root_cand = &self.nodes[root.0].cands[best_idx];
+        let root_pos = root_cand.region.nearest_point(source);
+        let mut stack = vec![(root, best_idx, None::<usize>, source.dist(root_pos), root_pos)];
+        while let Some((nid, cidx, parent, wire, pos)) = stack.pop() {
+            let me = nodes.len();
+            let cand = &self.nodes[nid.0].cands[cidx];
+            nodes.push(RoutedNode {
+                pos,
+                parent,
+                wire,
+                sink: self.nodes[nid.0].sink,
+            });
+            if let CandKind::Merge {
+                cand_a,
+                cand_b,
+                ea,
+                eb,
+            } = cand.kind
+            {
+                let (a, b) = self.nodes[nid.0]
+                    .children
+                    .expect("merge candidates only on merge nodes");
+                let pa = self.nodes[a.0].cands[cand_a].region.nearest_point(pos);
+                let pb = self.nodes[b.0].cands[cand_b].region.nearest_point(pos);
+                debug_assert!(
+                    pos.dist(pa) <= ea + 1e-6 * (1.0 + ea),
+                    "child a unreachable: {} > {}",
+                    pos.dist(pa),
+                    ea
+                );
+                debug_assert!(
+                    pos.dist(pb) <= eb + 1e-6 * (1.0 + eb),
+                    "child b unreachable: {} > {}",
+                    pos.dist(pb),
+                    eb
+                );
+                stack.push((a, cand_a, Some(me), ea, pa));
+                stack.push((b, cand_b, Some(me), eb, pb));
+            }
+        }
+        RoutedTree::new(source, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astdme_delay::RcParams;
+
+    fn forest_with(bounds: Vec<f64>) -> MergeForest {
+        MergeForest::new(
+            DelayModel::elmore(RcParams::default()),
+            bounds,
+            EngineConfig::default(),
+        )
+    }
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn leaf_candidates_are_points_at_zero_delay() {
+        let mut f = forest_with(vec![0.0]);
+        let id = f.add_leaf(0, pt(3.0, 4.0), 1e-14, GroupId(0));
+        let c = &f.candidates(id)[0];
+        assert!(c.region.is_point(1e-12));
+        assert_eq!(c.cap, 1e-14);
+        assert_eq!(c.wirelen, 0.0);
+        assert_eq!(c.delays.range(GroupId(0)).unwrap().hi, 0.0);
+    }
+
+    #[test]
+    fn same_group_zero_skew_merge_is_classic_dme() {
+        let mut f = forest_with(vec![0.0]);
+        let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+        let b = f.add_leaf(1, pt(1000.0, 0.0), 1e-14, GroupId(0));
+        let m = f.merge(a, b);
+        for c in f.candidates(m) {
+            // Zero-skew with equal loads: split in half, region is an arc.
+            let CandKind::Merge { ea, eb, .. } = c.kind else {
+                panic!("expected merge provenance")
+            };
+            assert!((ea - 500.0).abs() < 1e-6);
+            assert!((eb - 500.0).abs() < 1e-6);
+            assert!(c.region.is_arc(1e-9));
+            assert!((c.wirelen - 1000.0).abs() < 1e-9);
+            // Both sinks at identical delay.
+            let r = c.delays.range(GroupId(0)).unwrap();
+            assert!(r.spread() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn different_groups_merge_spans_the_sdr() {
+        // Fusion retains only the offset-consistent candidate; the SDR
+        // sweep is visible in the general (unfused) mode.
+        let mut f = MergeForest::new(
+            DelayModel::elmore(RcParams::default()),
+            vec![0.0, 0.0],
+            EngineConfig {
+                fuse_groups: false,
+                ..EngineConfig::default()
+            },
+        );
+        let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+        let b = f.add_leaf(1, pt(800.0, 600.0), 1e-14, GroupId(1));
+        let m = f.merge(a, b);
+        let cands = f.candidates(m);
+        // Multiple sampled splits, all spending exactly the distance.
+        assert!(cands.len() > 1);
+        for c in cands {
+            assert!((c.wirelen - 1400.0).abs() < 1e-6);
+            assert_eq!(c.delays.group_count(), 2);
+        }
+        // The extreme samples touch the child positions.
+        let spans: Vec<f64> = cands
+            .iter()
+            .map(|c| match c.kind {
+                CandKind::Merge { ea, .. } => ea,
+                _ => unreachable!(),
+            })
+            .collect();
+        let min = spans.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = spans.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 1e-6);
+        assert!((max - 1400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounded_skew_merge_allows_off_balance_splits() {
+        let mut f = MergeForest::new(
+            DelayModel::elmore(RcParams::default()),
+            vec![1e-11],
+            EngineConfig::default(),
+        );
+        let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+        let b = f.add_leaf(1, pt(2000.0, 0.0), 1e-14, GroupId(0));
+        let m = f.merge(a, b);
+        let mut spread_seen = 0.0f64;
+        for c in f.candidates(m) {
+            let r = c.delays.range(GroupId(0)).unwrap();
+            assert!(r.spread() <= 1e-11 + 1e-18);
+            spread_seen = spread_seen.max(r.spread());
+        }
+        assert!(spread_seen > 0.0, "bounded merges should use the slack");
+    }
+
+    #[test]
+    fn unbalanced_zero_skew_merge_snakes() {
+        let mut f = forest_with(vec![0.0]);
+        // A heavy, far subtree vs a nearby light sink: build the heavy one
+        // first out of two distant sinks.
+        let a1 = f.add_leaf(0, pt(0.0, 0.0), 5e-14, GroupId(0));
+        let a2 = f.add_leaf(1, pt(4000.0, 0.0), 5e-14, GroupId(0));
+        let a = f.merge(a1, a2);
+        let b = f.add_leaf(2, pt(2050.0, 10.0), 1e-15, GroupId(0));
+        let m = f.merge(a, b);
+        // b is tiny and close to a's merging arc: zero skew demands more
+        // wire to b than the distance.
+        let c = &f.candidates(m)[0];
+        let CandKind::Merge { ea, eb, .. } = c.kind else {
+            panic!("expected merge")
+        };
+        let d = f
+            .candidates(a)
+            .iter()
+            .map(|ca| {
+                ca.region
+                    .distance(&f.candidates(b)[0].region)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(ea + eb > d + 1.0, "expected a snaking detour");
+        let r = c.delays.range(GroupId(0)).unwrap();
+        assert!(r.spread() < 1e-18);
+    }
+
+    #[test]
+    fn embed_realizes_bookkept_wirelength_and_delays() {
+        let mut f = forest_with(vec![0.0]);
+        let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+        let b = f.add_leaf(1, pt(600.0, 400.0), 2e-14, GroupId(0));
+        let m = f.merge(a, b);
+        let best_wirelen = f.candidates(m)[0].wirelen;
+        let tree = f.embed(m, pt(300.0, 1000.0));
+        // Total wire = subtree wire + source connection.
+        let subtree_wire: f64 = tree
+            .nodes()
+            .iter()
+            .filter(|n| n.parent.is_some())
+            .map(|n| n.wire)
+            .sum();
+        assert!((subtree_wire - best_wirelen).abs() < 1e-6);
+        assert_eq!(tree.sink_nodes().count(), 2);
+    }
+
+    #[test]
+    fn merge_distance_and_representative_region() {
+        let mut f = forest_with(vec![0.0, 0.0]);
+        let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+        let b = f.add_leaf(1, pt(100.0, 0.0), 1e-14, GroupId(1));
+        assert_eq!(f.merge_distance(a, b), 100.0);
+        let m = f.merge(a, b);
+        let rep = f.representative_region(m);
+        for c in f.candidates(m) {
+            assert!(rep.contains_trr(&c.region, 1e-9));
+        }
+    }
+
+    #[test]
+    fn residual_zero_on_clean_instances() {
+        let mut f = forest_with(vec![0.0, 0.0]);
+        let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+        let b = f.add_leaf(1, pt(500.0, 0.0), 1e-14, GroupId(1));
+        let c = f.add_leaf(2, pt(250.0, 400.0), 1e-14, GroupId(0));
+        let ab = f.merge(a, b);
+        let _ = f.merge(ab, c);
+        assert_eq!(f.residual(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge a node with itself")]
+    fn merging_self_panics() {
+        let mut f = forest_with(vec![0.0]);
+        let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+        let _ = f.merge(a, a);
+    }
+}

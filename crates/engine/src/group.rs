@@ -1,0 +1,281 @@
+//! Sink groups: the associative-skew constraint structure.
+
+use core::fmt;
+use std::error::Error;
+
+/// Identifier of a sink group (`G_1 … G_k` in the paper), dense from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The group's index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// Error building or validating a routing instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// A sink's group index is `>= group_count`.
+    GroupOutOfRange {
+        /// Index of the offending sink.
+        sink: usize,
+        /// The out-of-range group index.
+        group: usize,
+        /// Number of declared groups.
+        group_count: usize,
+    },
+    /// A declared group contains no sinks.
+    EmptyGroup(usize),
+    /// The instance has no sinks.
+    NoSinks,
+    /// The number of assignments differs from the number of sinks.
+    AssignmentLengthMismatch {
+        /// Number of sinks.
+        sinks: usize,
+        /// Number of group assignments provided.
+        assignments: usize,
+    },
+    /// A sink has a non-finite coordinate or non-positive capacitance.
+    BadSink(usize),
+    /// A skew bound is negative or NaN.
+    BadBound(usize),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::GroupOutOfRange { sink, group, group_count } => write!(
+                f,
+                "sink {sink} assigned to group {group}, but only {group_count} groups declared"
+            ),
+            Self::EmptyGroup(g) => write!(f, "group {g} contains no sinks"),
+            Self::NoSinks => write!(f, "instance has no sinks"),
+            Self::AssignmentLengthMismatch { sinks, assignments } => write!(
+                f,
+                "{assignments} group assignments provided for {sinks} sinks"
+            ),
+            Self::BadSink(i) => write!(f, "sink {i} has a non-finite position or bad capacitance"),
+            Self::BadBound(g) => write!(f, "group {g} has a negative or NaN skew bound"),
+        }
+    }
+}
+
+impl Error for InstanceError {}
+
+/// A partition of the sinks into `k` groups, with a per-group intra-group
+/// skew bound (zero by default — the paper's formulation in Ch. II).
+///
+/// Skew constraints apply only *within* a group; sinks in different groups
+/// are unconstrained relative to each other.
+///
+/// ```
+/// use astdme_engine::{GroupId, Groups};
+///
+/// let g = Groups::from_assignments(vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(g.group_count(), 2);
+/// assert_eq!(g.group_of(2), GroupId(0));
+/// assert_eq!(g.members(GroupId(1)), &[1, 3]);
+/// assert_eq!(g.bound(GroupId(0)), 0.0);
+/// # Ok::<(), astdme_engine::InstanceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Groups {
+    assignment: Vec<GroupId>,
+    members: Vec<Vec<usize>>,
+    bounds: Vec<f64>,
+}
+
+impl Groups {
+    /// Builds a partition from a per-sink group index vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any index is `>= group_count` or a group ends up empty.
+    pub fn from_assignments(
+        assignment: Vec<usize>,
+        group_count: usize,
+    ) -> Result<Self, InstanceError> {
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); group_count];
+        for (sink, &g) in assignment.iter().enumerate() {
+            if g >= group_count {
+                return Err(InstanceError::GroupOutOfRange {
+                    sink,
+                    group: g,
+                    group_count,
+                });
+            }
+            members[g].push(sink);
+        }
+        if let Some(g) = members.iter().position(Vec::is_empty) {
+            return Err(InstanceError::EmptyGroup(g));
+        }
+        Ok(Self {
+            assignment: assignment.into_iter().map(|g| GroupId(g as u32)).collect(),
+            members,
+            bounds: vec![0.0; group_count],
+        })
+    }
+
+    /// A single group containing `n` sinks — the conventional zero-skew /
+    /// bounded-skew setting (`greedy-DME`, `EXT-BST`).
+    pub fn single(n: usize) -> Result<Self, InstanceError> {
+        if n == 0 {
+            return Err(InstanceError::NoSinks);
+        }
+        Self::from_assignments(vec![0; n], 1)
+    }
+
+    /// Sets the same intra-group skew bound for every group (seconds;
+    /// `0.0` = zero skew). Returns `self` for chaining.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bound is negative or NaN.
+    pub fn with_uniform_bound(mut self, bound: f64) -> Result<Self, InstanceError> {
+        if !(bound >= 0.0) {
+            return Err(InstanceError::BadBound(0));
+        }
+        for b in &mut self.bounds {
+            *b = bound;
+        }
+        Ok(self)
+    }
+
+    /// Sets per-group intra-group skew bounds.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the length differs from the group count or any bound is
+    /// negative/NaN.
+    pub fn with_bounds(mut self, bounds: Vec<f64>) -> Result<Self, InstanceError> {
+        if bounds.len() != self.group_count() {
+            return Err(InstanceError::AssignmentLengthMismatch {
+                sinks: self.group_count(),
+                assignments: bounds.len(),
+            });
+        }
+        if let Some(g) = bounds.iter().position(|b| !(*b >= 0.0)) {
+            return Err(InstanceError::BadBound(g));
+        }
+        self.bounds = bounds;
+        Ok(self)
+    }
+
+    /// Number of groups `k`.
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of sinks.
+    #[inline]
+    pub fn sink_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Group of sink `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn group_of(&self, i: usize) -> GroupId {
+        self.assignment[i]
+    }
+
+    /// Sinks belonging to group `g`, ascending.
+    #[inline]
+    pub fn members(&self, g: GroupId) -> &[usize] {
+        &self.members[g.index()]
+    }
+
+    /// Intra-group skew bound of `g` in seconds.
+    #[inline]
+    pub fn bound(&self, g: GroupId) -> f64 {
+        self.bounds[g.index()]
+    }
+
+    /// All per-group bounds, indexed by group.
+    #[inline]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-sink assignment as raw indices.
+    pub fn assignment(&self) -> Vec<usize> {
+        self.assignment.iter().map(|g| g.index()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignments_builds_members() {
+        let g = Groups::from_assignments(vec![1, 0, 1, 1], 2).unwrap();
+        assert_eq!(g.group_count(), 2);
+        assert_eq!(g.sink_count(), 4);
+        assert_eq!(g.members(GroupId(0)), &[1]);
+        assert_eq!(g.members(GroupId(1)), &[0, 2, 3]);
+        assert_eq!(g.group_of(3), GroupId(1));
+    }
+
+    #[test]
+    fn rejects_out_of_range_group() {
+        let err = Groups::from_assignments(vec![0, 2], 2).unwrap_err();
+        assert!(matches!(err, InstanceError::GroupOutOfRange { sink: 1, group: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_group() {
+        let err = Groups::from_assignments(vec![0, 0], 2).unwrap_err();
+        assert_eq!(err, InstanceError::EmptyGroup(1));
+    }
+
+    #[test]
+    fn single_group_helper() {
+        let g = Groups::single(5).unwrap();
+        assert_eq!(g.group_count(), 1);
+        assert_eq!(g.members(GroupId(0)).len(), 5);
+        assert!(Groups::single(0).is_err());
+    }
+
+    #[test]
+    fn bounds_default_zero_and_are_settable() {
+        let g = Groups::from_assignments(vec![0, 1], 2).unwrap();
+        assert_eq!(g.bound(GroupId(0)), 0.0);
+        let g = g.with_uniform_bound(1e-11).unwrap();
+        assert_eq!(g.bound(GroupId(1)), 1e-11);
+        let g = g.with_bounds(vec![0.0, 5e-12]).unwrap();
+        assert_eq!(g.bound(GroupId(0)), 0.0);
+        assert_eq!(g.bound(GroupId(1)), 5e-12);
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        let g = Groups::from_assignments(vec![0], 1).unwrap();
+        assert!(g.clone().with_uniform_bound(-1.0).is_err());
+        assert!(g.clone().with_uniform_bound(f64::NAN).is_err());
+        assert!(g.clone().with_bounds(vec![0.0, 0.0]).is_err());
+        assert!(g.with_bounds(vec![-0.5]).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = InstanceError::GroupOutOfRange { sink: 3, group: 9, group_count: 4 };
+        assert!(e.to_string().contains("sink 3"));
+        assert!(e.to_string().contains("group 9"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Post-embedding skew repair: leaf-edge snaking until every group meets
+//! its bound.
+//!
+//! The bottom-up engine resolves almost all skew constraints during
+//! merging; the exception is a *deep* offset conflict — two subtrees that
+//! each contain the same two groups with incompatible frozen offsets,
+//! where the single-level wire sneaking of Kim 2006 Ch. V.E (and of this
+//! engine's offset adjustment) has no remaining degree of freedom. Rather
+//! than hand back a constraint-violating tree, the routers run this repair
+//! pass: iteratively extend (snake) the leaf edges of too-fast sinks until
+//! every group's delay spread is within its bound. Extending a leaf edge
+//! only ever *adds* delay to that one sink (plus a small common upstream
+//! shift through its added capacitance), so the iteration converges
+//! geometrically; all added wire is real and counted in the wirelength —
+//! the comparison against baselines stays honest.
+
+use astdme_delay::DelayModel;
+
+use crate::{audit, Instance, RoutedTree};
+
+/// Result of [`repair_group_skew`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The repaired tree (identical to the input when no repair needed).
+    pub tree: RoutedTree,
+    /// Iterations of the equalization loop actually used.
+    pub iterations: usize,
+    /// Worst bound violation before repair (seconds).
+    pub violation_before: f64,
+    /// Worst bound violation after repair.
+    pub violation_after: f64,
+    /// Wirelength added by snaking (µm).
+    pub wire_added: f64,
+}
+
+/// Snakes leaf edges until every group's delay spread is within its bound
+/// (plus `tol`), or `max_iters` is exhausted.
+///
+/// `tol` is an absolute delay tolerance; a relative floor of `1e-12 ×` the
+/// largest sink delay is applied automatically so the pass behaves across
+/// delay models with different units.
+pub fn repair_group_skew(
+    tree: &RoutedTree,
+    inst: &Instance,
+    model: &DelayModel,
+    tol: f64,
+    max_iters: usize,
+) -> RepairOutcome {
+    let mut current = tree.clone();
+    let wire_before = current.total_wirelength();
+    let mut violation_before = None;
+    let mut iterations = 0;
+    let mut violation_after = 0.0;
+
+    for it in 0..max_iters.max(1) {
+        let report = audit(&current, inst, model);
+        let max_delay = report
+            .sink_delays()
+            .iter()
+            .map(|&(_, d)| d.abs())
+            .fold(0.0f64, f64::max);
+        let tol_eff = tol.max(1e-12 * max_delay);
+
+        // Per-group delay extremes.
+        let k = inst.groups().group_count();
+        let mut hi = vec![f64::NEG_INFINITY; k];
+        for &(s, d) in report.sink_delays() {
+            let g = inst.group_of(s).index();
+            hi[g] = hi[g].max(d);
+        }
+        // Worst violation this round.
+        let mut worst = 0.0f64;
+        for (g, spread) in report.group_spreads().iter().enumerate() {
+            worst = worst.max(spread - inst.groups().bound(astdme_groupid(g)));
+        }
+        if violation_before.is_none() {
+            violation_before = Some(worst.max(0.0));
+        }
+        violation_after = worst.max(0.0);
+        if worst <= tol_eff {
+            break;
+        }
+        iterations = it + 1;
+
+        // Extend the leaf edge of every sink below its group's floor.
+        //
+        // The delay a leaf extension Δw adds to its own sink is
+        //   [r·(c·w + C_sink) + R_upstream·c] · Δw + O(Δw²):
+        // the edge-local term plus the extension's capacitance seen
+        // through the entire upstream path resistance (which usually
+        // dominates). A Newton step with this exact derivative converges
+        // without overshoot; pure inversion of the edge-local delay
+        // diverges because it under-sizes the true effect several-fold.
+        let (r_unit, c_unit) = match model.rc() {
+            Some(p) => (p.r_per_um(), p.c_per_um()),
+            // Pathlength model: delay is length, derivative is exactly 1.
+            None => (0.0, 0.0),
+        };
+        let mut nodes = current.nodes().to_vec();
+        // Path resistance from the source to each node's far end.
+        let mut r_path = vec![0.0f64; nodes.len()];
+        {
+            let children = current.children();
+            let mut stack = vec![0usize];
+            while let Some(i) = stack.pop() {
+                let upstream = match nodes[i].parent {
+                    Some(p) => r_path[p],
+                    None => 0.0,
+                };
+                r_path[i] = upstream + r_unit * nodes[i].wire;
+                stack.extend(children[i].iter().copied());
+            }
+        }
+        let node_of_sink: Vec<(usize, usize)> = current.sink_nodes().collect();
+        for &(node, sink) in &node_of_sink {
+            let g = inst.group_of(sink);
+            let floor = hi[g.index()] - inst.groups().bound(g);
+            let d = report.sink_delay(sink).expect("audited sink");
+            let needed = floor - d;
+            if needed > tol_eff * 0.25 {
+                let cap = inst.sinks()[sink].cap;
+                let w = nodes[node].wire;
+                let derivative = match model {
+                    DelayModel::Pathlength => 1.0,
+                    DelayModel::Elmore(_) => {
+                        r_unit * (c_unit * w + cap) + r_path[node] * c_unit
+                    }
+                };
+                nodes[node].wire = w + needed / derivative;
+            }
+        }
+        current = RoutedTree::new(current.source(), nodes);
+    }
+
+    RepairOutcome {
+        wire_added: current.total_wirelength() - wire_before,
+        tree: current,
+        iterations,
+        violation_before: violation_before.unwrap_or(0.0),
+        violation_after,
+    }
+}
+
+fn astdme_groupid(g: usize) -> crate::GroupId {
+    crate::GroupId(g as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Groups, RoutedNode, Sink};
+    use astdme_delay::RcParams;
+    use astdme_geom::Point;
+
+    /// A deliberately unbalanced 2-sink tree.
+    fn unbalanced() -> (RoutedTree, Instance) {
+        let tree = RoutedTree::new(
+            Point::new(0.0, 0.0),
+            vec![
+                RoutedNode {
+                    pos: Point::new(100.0, 0.0),
+                    parent: None,
+                    wire: 100.0,
+                    sink: None,
+                },
+                RoutedNode {
+                    pos: Point::new(300.0, 0.0),
+                    parent: Some(0),
+                    wire: 200.0,
+                    sink: Some(0),
+                },
+                RoutedNode {
+                    pos: Point::new(150.0, 0.0),
+                    parent: Some(0),
+                    wire: 50.0,
+                    sink: Some(1),
+                },
+            ],
+        );
+        let inst = Instance::new(
+            vec![
+                Sink::new(Point::new(300.0, 0.0), 1e-14),
+                Sink::new(Point::new(150.0, 0.0), 1e-14),
+            ],
+            Groups::single(2).unwrap(),
+            RcParams::default(),
+            Point::new(0.0, 0.0),
+        )
+        .unwrap();
+        (tree, inst)
+    }
+
+    #[test]
+    fn repair_equalizes_a_skewed_tree() {
+        let (tree, inst) = unbalanced();
+        let model = DelayModel::elmore(*inst.rc());
+        let before = audit(&tree, &inst, &model);
+        assert!(before.max_intra_group_skew() > 1e-15);
+
+        let out = repair_group_skew(&tree, &inst, &model, 1e-18, 60);
+        assert!(out.violation_before > 1e-15);
+        assert!(
+            out.violation_after < 1e-15,
+            "violation after repair: {}",
+            out.violation_after
+        );
+        assert!(out.wire_added > 0.0);
+        assert!(out.iterations >= 1);
+
+        let after = audit(&out.tree, &inst, &model);
+        assert!(after.max_intra_group_skew() < 1e-15);
+        // Only the fast sink's leaf edge grew.
+        assert_eq!(out.tree.nodes()[1].wire, tree.nodes()[1].wire);
+        assert!(out.tree.nodes()[2].wire > tree.nodes()[2].wire);
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_balanced_trees() {
+        let (tree, inst) = unbalanced();
+        let model = DelayModel::elmore(*inst.rc());
+        let out = repair_group_skew(&tree, &inst, &model, 1e-18, 60);
+        let again = repair_group_skew(&out.tree, &inst, &model, 1e-18, 60);
+        assert_eq!(again.iterations, 0);
+        assert!(again.wire_added.abs() < 1e-9);
+        assert_eq!(again.tree, out.tree);
+    }
+
+    #[test]
+    fn repair_respects_nonzero_bounds() {
+        let (tree, inst) = unbalanced();
+        let model = DelayModel::elmore(*inst.rc());
+        let skew = audit(&tree, &inst, &model).max_intra_group_skew();
+        // Bound larger than the skew: nothing to do.
+        let loose = inst
+            .with_groups(Groups::single(2).unwrap().with_uniform_bound(skew * 2.0).unwrap())
+            .unwrap();
+        let out = repair_group_skew(&tree, &loose, &model, 1e-18, 60);
+        assert_eq!(out.iterations, 0);
+        // Bound at half the skew: repair down to it, not to zero.
+        let tight = inst
+            .with_groups(Groups::single(2).unwrap().with_uniform_bound(skew * 0.5).unwrap())
+            .unwrap();
+        let out = repair_group_skew(&tree, &tight, &model, 1e-18, 60);
+        let after = audit(&out.tree, &tight, &model);
+        assert!(after.max_intra_group_skew() <= skew * 0.5 + 1e-15);
+        assert!(
+            after.max_intra_group_skew() > skew * 0.25,
+            "should not over-repair past the bound"
+        );
+    }
+
+    #[test]
+    fn repair_works_under_pathlength_model() {
+        let (tree, inst) = unbalanced();
+        let model = DelayModel::pathlength();
+        let out = repair_group_skew(&tree, &inst, &model, 1e-9, 20);
+        let after = audit(&out.tree, &inst, &model);
+        // Pathlength model: linear, converges in one iteration.
+        assert!(after.max_intra_group_skew() < 1e-6);
+        assert!(out.iterations <= 2);
+    }
+
+    #[test]
+    fn repair_multi_group_only_touches_violating_groups() {
+        let (tree, inst) = unbalanced();
+        let two = inst
+            .with_groups(Groups::from_assignments(vec![0, 1], 2).unwrap())
+            .unwrap();
+        // Each group has one sink: spreads are zero, nothing to repair.
+        let model = DelayModel::elmore(*two.rc());
+        let out = repair_group_skew(&tree, &two, &model, 1e-18, 60);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.tree, tree);
+    }
+}

@@ -1,0 +1,243 @@
+//! Closed 1-D intervals `[lo, hi]` with the operations needed for tilted
+//! rectangular region (TRR) arithmetic: dilation, intersection, gap, clamp.
+
+use core::fmt;
+
+/// A non-empty closed interval `[lo, hi]` on the real line.
+///
+/// `Interval` is one axis of a [`crate::Trr`] in rotated coordinates; TRR
+/// dilation, intersection and distance all reduce to per-axis interval
+/// operations.
+///
+/// ```
+/// use astdme_geom::Interval;
+///
+/// let a = Interval::new(0.0, 2.0);
+/// let b = Interval::new(5.0, 6.0);
+/// assert_eq!(a.gap(&b), 3.0);
+/// assert_eq!(a.dilate(1.5).intersect(&b.dilate(1.5)).unwrap(), Interval::new(3.5, 3.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN. Use [`Interval::try_new`]
+    /// for a fallible constructor.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self::try_new(lo, hi)
+            .unwrap_or_else(|| panic!("invalid interval [{lo}, {hi}]: need lo <= hi, non-NaN"))
+    }
+
+    /// Creates the interval `[lo, hi]`, or `None` if `lo > hi` or a bound is
+    /// NaN.
+    #[inline]
+    pub fn try_new(lo: f64, hi: f64) -> Option<Self> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            None
+        } else {
+            Some(Self { lo, hi })
+        }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    #[inline]
+    pub fn point(x: f64) -> Self {
+        Self::new(x, x)
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// `hi - lo`.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` if the interval is a single point (within `tol`).
+    #[inline]
+    pub fn is_degenerate(&self, tol: f64) -> bool {
+        self.len() <= tol
+    }
+
+    /// Midpoint of the interval.
+    #[inline]
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Returns `true` if `x` lies in `[lo - tol, hi + tol]`.
+    #[inline]
+    pub fn contains(&self, x: f64, tol: f64) -> bool {
+        x >= self.lo - tol && x <= self.hi + tol
+    }
+
+    /// Expands both ends by `r >= 0` (Minkowski sum with `[-r, r]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is negative or NaN.
+    #[inline]
+    pub fn dilate(&self, r: f64) -> Self {
+        assert!(r >= 0.0, "dilation radius must be non-negative, got {r}");
+        Self::new(self.lo - r, self.hi + r)
+    }
+
+    /// Shrinks both ends by `r >= 0`, or `None` if the interval vanishes.
+    #[inline]
+    pub fn shrink(&self, r: f64) -> Option<Self> {
+        assert!(r >= 0.0, "shrink radius must be non-negative, got {r}");
+        Self::try_new(self.lo + r, self.hi - r)
+    }
+
+    /// Intersection with `other`, or `None` if disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Option<Self> {
+        Self::try_new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    #[inline]
+    pub fn hull(&self, other: &Self) -> Self {
+        Self::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Distance between the intervals: `0` if they overlap, otherwise the
+    /// length of the gap separating them.
+    #[inline]
+    pub fn gap(&self, other: &Self) -> f64 {
+        (self.lo - other.hi).max(other.lo - self.hi).max(0.0)
+    }
+
+    /// Nearest point of the interval to `x` (i.e. `x` clamped to `[lo, hi]`).
+    #[inline]
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// Translates the interval by `dx`.
+    #[inline]
+    pub fn translate(&self, dx: f64) -> Self {
+        Self::new(self.lo + dx, self.hi + dx)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted_and_nan() {
+        assert!(Interval::try_new(1.0, 0.0).is_none());
+        assert!(Interval::try_new(f64::NAN, 1.0).is_none());
+        assert!(Interval::try_new(0.0, f64::NAN).is_none());
+        assert!(Interval::try_new(0.0, 0.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn new_panics_on_inverted() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn gap_zero_when_overlapping() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.gap(&b), 0.0);
+        assert_eq!(b.gap(&a), 0.0);
+        // Touching intervals have zero gap.
+        let c = Interval::new(2.0, 4.0);
+        assert_eq!(a.gap(&c), 0.0);
+    }
+
+    #[test]
+    fn gap_is_symmetric_and_positive_when_disjoint() {
+        let a = Interval::new(-1.0, 0.0);
+        let b = Interval::new(2.5, 3.0);
+        assert_eq!(a.gap(&b), 2.5);
+        assert_eq!(b.gap(&a), 2.5);
+    }
+
+    #[test]
+    fn dilate_then_shrink_roundtrips() {
+        let a = Interval::new(1.0, 4.0);
+        assert_eq!(a.dilate(2.0).shrink(2.0).unwrap(), a);
+    }
+
+    #[test]
+    fn shrink_past_midpoint_vanishes() {
+        let a = Interval::new(0.0, 1.0);
+        assert!(a.shrink(0.6).is_none());
+        assert!(a.shrink(0.5).is_some());
+    }
+
+    #[test]
+    fn intersect_of_dilations_meets_at_weighted_point() {
+        // Dilating two points by radii that exactly cover their gap meets in
+        // a single point at distance ea from a.
+        let a = Interval::point(0.0);
+        let b = Interval::point(10.0);
+        let m = a.dilate(3.0).intersect(&b.dilate(7.0)).unwrap();
+        assert_eq!(m, Interval::point(3.0));
+    }
+
+    #[test]
+    fn clamp_and_contains_agree() {
+        let a = Interval::new(-2.0, 5.0);
+        for x in [-3.0, -2.0, 0.0, 5.0, 9.0] {
+            let c = a.clamp(x);
+            assert!(a.contains(c, 0.0));
+            if a.contains(x, 0.0) {
+                assert_eq!(c, x);
+            }
+        }
+    }
+
+    #[test]
+    fn hull_contains_both() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(4.0, 6.0);
+        let h = a.hull(&b);
+        assert_eq!(h, Interval::new(0.0, 6.0));
+    }
+
+    #[test]
+    fn mid_and_len() {
+        let a = Interval::new(2.0, 6.0);
+        assert_eq!(a.mid(), 4.0);
+        assert_eq!(a.len(), 4.0);
+        assert!(!a.is_degenerate(1e-9));
+        assert!(Interval::point(3.0).is_degenerate(0.0));
+    }
+
+    #[test]
+    fn translate_shifts_both_ends() {
+        let a = Interval::new(1.0, 2.0).translate(-1.5);
+        assert_eq!(a, Interval::new(-0.5, 0.5));
+    }
+}

@@ -1,0 +1,52 @@
+//! Manhattan-plane geometry substrate for deferred-merge clock routing.
+//!
+//! Clock routing algorithms in the DME/BST family (Chao et al. 1992, Cong et
+//! al. 1998) operate in the rectilinear (Manhattan, L1) plane. Their central
+//! geometric objects are:
+//!
+//! * **Manhattan arcs** — line segments of slope ±1 (or single points). The
+//!   locus of zero-skew merge points in DME is always a Manhattan arc.
+//! * **Tilted rectangular regions (TRRs)** — rectangles whose sides are
+//!   Manhattan arcs. The set of points within L1 distance `r` of a Manhattan
+//!   arc is a TRR; bounded-skew merging regions are built from TRRs.
+//! * **Shortest-distance regions (SDRs)** — the set of points lying on some
+//!   shortest rectilinear path between two regions; the merging region used
+//!   when subtrees from *different* sink groups merge (Kim 2006, Fig. 3).
+//!
+//! The crate works in *rotated coordinates* `u = x + y`, `v = x - y`, under
+//! which L1 distance becomes L∞ distance, Manhattan arcs become axis-aligned
+//! segments, and TRRs become axis-aligned rectangles. All set operations
+//! (dilation, intersection, distance, nearest point) then reduce to
+//! per-dimension interval arithmetic, which is exact up to floating-point
+//! rounding.
+//!
+//! # Example
+//!
+//! ```
+//! use astdme_geom::{Point, Trr};
+//!
+//! let a = Trr::from_point(Point::new(0.0, 0.0));
+//! let b = Trr::from_point(Point::new(3.0, 1.0));
+//! assert_eq!(a.distance(&b), 4.0); // L1 distance
+//!
+//! // All points reachable with 1 unit of wire from `a` and 3 from `b`:
+//! let locus = a.dilate(1.0).intersect(&b.dilate(3.0)).unwrap();
+//! assert!(locus.contains(Point::new(1.0, 0.0), 1e-9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod point;
+mod rect;
+mod sdr;
+mod tol;
+mod trr;
+
+pub use interval::Interval;
+pub use point::{Point, RotPoint};
+pub use rect::Rect;
+pub use sdr::{merge_locus, sdr_diameter_samples, sdr_outline, sdr_sample_arcs};
+pub use tol::{approx_eq, approx_ge, approx_le, DEFAULT_TOL};
+pub use trr::Trr;

@@ -1,0 +1,222 @@
+//! Axis-aligned rectangles in the real plane.
+//!
+//! Used for die outlines, clustered group partitioning (Table I of the
+//! paper) and the bucketed neighbor index — not for embedding itself, which
+//! works with [`crate::Trr`].
+
+use core::fmt;
+
+use crate::Point;
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]` in real coordinates.
+///
+/// ```
+/// use astdme_geom::{Point, Rect};
+///
+/// let die = Rect::new(0.0, 0.0, 100.0, 50.0);
+/// assert!(die.contains(Point::new(10.0, 10.0)));
+/// let quads = die.grid(2, 2);
+/// assert_eq!(quads.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl Rect {
+    /// Creates `[x0, x1] × [y0, y1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0 > x1`, `y0 > y1`, or any bound is NaN.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(
+            x0 <= x1 && y0 <= y1 && !(x0.is_nan() || y0.is_nan() || x1.is_nan() || y1.is_nan()),
+            "invalid rect [{x0}, {x1}] x [{y0}, {y1}]"
+        );
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Smallest rectangle containing all `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (mut x0, mut y0, mut x1, mut y1) = (first.x, first.y, first.x, first.y);
+        for p in it {
+            x0 = x0.min(p.x);
+            y0 = y0.min(p.y);
+            x1 = x1.max(p.x);
+            y1 = y1.max(p.y);
+        }
+        Some(Self::new(x0, y0, x1, y1))
+    }
+
+    /// Left edge.
+    #[inline]
+    pub fn x0(&self) -> f64 {
+        self.x0
+    }
+
+    /// Bottom edge.
+    #[inline]
+    pub fn y0(&self) -> f64 {
+        self.y0
+    }
+
+    /// Right edge.
+    #[inline]
+    pub fn x1(&self) -> f64 {
+        self.x1
+    }
+
+    /// Top edge.
+    #[inline]
+    pub fn y1(&self) -> f64 {
+        self.y1
+    }
+
+    /// Width (`x1 - x0`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height (`y1 - y0`).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+    }
+
+    /// Returns `true` if `p` is inside (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// Splits the rectangle into a `cols × rows` grid of sub-rectangles,
+    /// row-major from the bottom-left.
+    ///
+    /// This is the clustered-group construction of the paper's first
+    /// experiment ("divide each benchmark circuit space into rectangle
+    /// boxes as many as the number of sink groups").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero.
+    pub fn grid(&self, cols: usize, rows: usize) -> Vec<Rect> {
+        assert!(cols > 0 && rows > 0, "grid needs at least one cell");
+        let (w, h) = (self.width() / cols as f64, self.height() / rows as f64);
+        let mut out = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.push(Rect::new(
+                    self.x0 + c as f64 * w,
+                    self.y0 + r as f64 * h,
+                    self.x0 + (c + 1) as f64 * w,
+                    self.y0 + (r + 1) as f64 * h,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Index of the grid cell (as produced by [`Rect::grid`]) containing
+    /// `p`, clamping points on the far boundary into the last cell.
+    pub fn grid_cell(&self, cols: usize, rows: usize, p: Point) -> usize {
+        assert!(cols > 0 && rows > 0, "grid needs at least one cell");
+        let fx = if self.width() > 0.0 {
+            ((p.x - self.x0) / self.width() * cols as f64).floor() as isize
+        } else {
+            0
+        };
+        let fy = if self.height() > 0.0 {
+            ((p.y - self.y0) / self.height() * rows as f64).floor() as isize
+        } else {
+            0
+        };
+        let cx = fx.clamp(0, cols as isize - 1) as usize;
+        let cy = fy.clamp(0, rows as isize - 1) as usize;
+        cy * cols + cx
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}] x [{}, {}]",
+            self.x0, self.x1, self.y0, self.y1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let r = Rect::bounding([
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ])
+        .unwrap();
+        assert_eq!(r, Rect::new(-2.0, -1.0, 4.0, 5.0));
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn grid_tiles_area_exactly() {
+        let die = Rect::new(0.0, 0.0, 10.0, 6.0);
+        let cells = die.grid(5, 3);
+        assert_eq!(cells.len(), 15);
+        let total: f64 = cells.iter().map(|c| c.width() * c.height()).sum();
+        assert!((total - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_cell_maps_points_consistently() {
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        // Every grid cell's center maps back to its own index.
+        for (i, cell) in die.grid(4, 3).iter().enumerate() {
+            assert_eq!(die.grid_cell(4, 3, cell.center()), i);
+        }
+        // Far-boundary points clamp into the last cell.
+        assert_eq!(die.grid_cell(4, 3, Point::new(10.0, 10.0)), 11);
+        // Outside points clamp rather than panic.
+        assert_eq!(die.grid_cell(4, 3, Point::new(-5.0, -5.0)), 0);
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rect")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn degenerate_rect_grid_cell() {
+        let r = Rect::new(2.0, 3.0, 2.0, 3.0);
+        assert_eq!(r.grid_cell(3, 3, Point::new(2.0, 3.0)), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Shortest-distance regions and merge loci.
+//!
+//! When two subtrees from *different* sink groups merge (Kim 2006, Fig. 3),
+//! the merging region is the shortest-distance region (SDR) between the two
+//! child regions: every point lying on some shortest rectilinear path
+//! between them. This module decomposes the SDR into the 1-parameter family
+//! of *iso-distance loci*: for each wire split `(ea, eb)` with
+//! `ea + eb = distance`, the locus of points exactly `ea` from one region
+//! and `eb` from the other. Each locus is a TRR on which delays are
+//! constant, which is what lets the engine keep exact per-candidate delay
+//! bookkeeping (see `astdme-engine`).
+
+use crate::{Point, Trr};
+
+/// The locus of merge points for electrical wire lengths `ea` to `a` and
+/// `eb` to `b`: `a.dilate(ea) ∩ b.dilate(eb)`.
+///
+/// Returns `None` when `ea + eb < a.distance(&b)` (not enough wire to reach
+/// both regions). When `ea + eb` equals the distance the locus is a
+/// Manhattan arc (or point) at *exactly* distance `ea` from `a` and `eb`
+/// from `b`; when it exceeds the distance the locus is a 2-D TRR whose
+/// points are within `ea` of `a` and `eb` of `b` (the slack is routed as a
+/// snaking detour during embedding).
+///
+/// ```
+/// use astdme_geom::{merge_locus, Point, Trr};
+///
+/// let a = Trr::from_point(Point::new(0.0, 0.0));
+/// let b = Trr::from_point(Point::new(10.0, 0.0));
+/// let m = merge_locus(&a, &b, 4.0, 6.0).unwrap();
+/// assert!((a.distance(&m) - 4.0).abs() < 1e-9);
+/// assert!(merge_locus(&a, &b, 1.0, 2.0).is_none());
+/// ```
+pub fn merge_locus(a: &Trr, b: &Trr, ea: f64, eb: f64) -> Option<Trr> {
+    debug_assert!(ea >= 0.0 && eb >= 0.0, "wire lengths must be non-negative");
+    // `ea + eb` computed by callers as fractions of the distance can land a
+    // few ulps short of it; treat deficits within rounding noise as exact
+    // splits by padding both radii just enough to meet.
+    let d = a.distance(b);
+    let deficit = d - (ea + eb);
+    let tol = 1e-9 * (1.0 + d.abs());
+    if deficit > tol {
+        return None;
+    }
+    let pad = deficit.max(0.0) * 0.5 + f64::EPSILON * (1.0 + d.abs());
+    let locus = a
+        .dilate(ea + pad)
+        .intersect(&b.dilate(eb + pad))
+        .expect("padded dilations must intersect");
+    Some(locus)
+}
+
+/// Samples the SDR between `a` and `b` as `k >= 2` iso-distance loci with
+/// splits `ea` evenly spaced on `[0, distance]`.
+///
+/// The union of all such loci over the continuum of splits is exactly the
+/// SDR; sampling discretizes the split, not the locus, so each returned
+/// `(ea, locus)` is exact. The first and last entries have `ea = 0` and
+/// `ea = distance`, i.e. boundary segments of the child regions themselves.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn sdr_sample_arcs(a: &Trr, b: &Trr, k: usize) -> Vec<(f64, Trr)> {
+    assert!(k >= 2, "need at least the two boundary samples");
+    let d = a.distance(b);
+    (0..k)
+        .map(|i| {
+            let ea = (d * i as f64 / (k - 1) as f64).min(d);
+            let locus = merge_locus(a, b, ea, (d - ea).max(0.0))
+                .expect("locus must exist for ea + eb = distance");
+            (ea, locus)
+        })
+        .collect()
+}
+
+/// Diameters of sampled iso-distance loci across the SDR; useful to inspect
+/// how much positional freedom each split retains.
+pub fn sdr_diameter_samples(a: &Trr, b: &Trr, k: usize) -> Vec<f64> {
+    sdr_sample_arcs(a, b, k)
+        .into_iter()
+        .map(|(_, t)| t.diameter())
+        .collect()
+}
+
+/// Approximate outline of the SDR between `a` and `b` for plotting
+/// (Figs. 3–5 of the paper): corner points of `k` sampled loci.
+///
+/// The outline is returned as an unordered point cloud; callers that need a
+/// polygon can hull it. Degenerate loci contribute fewer distinct points.
+pub fn sdr_outline(a: &Trr, b: &Trr, k: usize) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(4 * k);
+    for (_, locus) in sdr_sample_arcs(a, b, k) {
+        for c in locus.corners() {
+            if !pts.iter().any(|p: &Point| p.approx_eq(c, 1e-9)) {
+                pts.push(c);
+            }
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn two_point_sdr_is_bounding_box() {
+        // For two points, the SDR is their axis-aligned bounding box: every
+        // monotone staircase between them is a shortest path.
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let b = Trr::from_point(pt(4.0, 2.0));
+        for (ea, locus) in sdr_sample_arcs(&a, &b, 9) {
+            for c in locus.corners() {
+                assert!((a.distance_to_point(c) - ea).abs() < 1e-9);
+                assert!(c.x >= -1e-9 && c.x <= 4.0 + 1e-9);
+                assert!(c.y >= -1e-9 && c.y <= 2.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_endpoints_touch_the_regions() {
+        let a = Trr::from_point(pt(0.0, 0.0)).dilate(1.0);
+        let b = Trr::from_point(pt(8.0, 0.0)).dilate(0.5);
+        let samples = sdr_sample_arcs(&a, &b, 5);
+        let (ea0, first) = samples.first().unwrap();
+        let (ean, last) = samples.last().unwrap();
+        assert_eq!(*ea0, 0.0);
+        assert_eq!(a.distance(first), 0.0);
+        assert!((ean - a.distance(&b)).abs() < 1e-12);
+        assert_eq!(b.distance(last), 0.0);
+    }
+
+    #[test]
+    fn loci_partition_splits_monotonically() {
+        let a = Trr::manhattan_arc(pt(0.0, 0.0), pt(2.0, 2.0)).unwrap();
+        let b = Trr::manhattan_arc(pt(10.0, 0.0), pt(12.0, -2.0)).unwrap();
+        let d = a.distance(&b);
+        let samples = sdr_sample_arcs(&a, &b, 7);
+        assert_eq!(samples.len(), 7);
+        for w in samples.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for (ea, locus) in samples {
+            assert!((a.distance(&locus) - ea).abs() < 1e-9);
+            assert!((b.distance(&locus) - (d - ea)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_locus_infeasible_when_underfunded() {
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let b = Trr::from_point(pt(10.0, 0.0));
+        assert!(merge_locus(&a, &b, 4.0, 5.0).is_none());
+        assert!(merge_locus(&a, &b, 5.0, 5.0).is_some());
+    }
+
+    #[test]
+    fn overlapping_regions_have_zero_distance_sdr() {
+        let a = Trr::from_point(pt(0.0, 0.0)).dilate(3.0);
+        let b = Trr::from_point(pt(1.0, 0.0)).dilate(3.0);
+        assert_eq!(a.distance(&b), 0.0);
+        let m = merge_locus(&a, &b, 0.0, 0.0).unwrap();
+        // Zero-wire merge locus is the intersection itself.
+        assert!(a.contains_trr(&m, 1e-12));
+        assert!(b.contains_trr(&m, 1e-12));
+    }
+
+    #[test]
+    fn outline_points_are_on_shortest_paths() {
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let b = Trr::from_point(pt(6.0, 4.0));
+        let d = a.distance(&b);
+        for p in sdr_outline(&a, &b, 11) {
+            let through = a.distance_to_point(p) + b.distance_to_point(p);
+            assert!((through - d).abs() < 1e-9, "{p} not on a shortest path");
+        }
+    }
+
+    #[test]
+    fn diameter_samples_peak_in_the_middle_for_points() {
+        // Between two diagonal points the mid-split locus is the longest arc.
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let b = Trr::from_point(pt(4.0, 4.0));
+        let ds = sdr_diameter_samples(&a, &b, 5);
+        assert!(ds[2] >= ds[0] && ds[2] >= ds[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the two boundary samples")]
+    fn sampling_needs_two_points()
+    {
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let _ = sdr_sample_arcs(&a, &a, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Floating-point comparison helpers.
+//!
+//! Clock-routing geometry mixes very different magnitudes (die coordinates in
+//! the 1e5 range, skew slacks near zero), so comparisons use an *absolute*
+//! tolerance chosen by the caller, with [`DEFAULT_TOL`] as a sensible default
+//! for micron-scale coordinates.
+
+/// Default absolute tolerance for geometric predicates on micron-scale
+/// coordinates.
+///
+/// Large benchmark instances have coordinates up to ~1e5 and accumulate at
+/// most a few thousand arithmetic operations per coordinate, so 1e-6 absolute
+/// leaves ~5 orders of magnitude of headroom above f64 rounding error while
+/// staying far below any physically meaningful length.
+pub const DEFAULT_TOL: f64 = 1e-6;
+
+/// Returns `true` if `a` and `b` are within `tol` of each other.
+///
+/// ```
+/// # use astdme_geom::approx_eq;
+/// assert!(approx_eq(1.0, 1.0 + 1e-9, 1e-6));
+/// assert!(!approx_eq(1.0, 1.1, 1e-6));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Returns `true` if `a >= b` up to tolerance (`a` may undershoot by `tol`).
+#[inline]
+pub fn approx_ge(a: f64, b: f64, tol: f64) -> bool {
+    a >= b - tol
+}
+
+/// Returns `true` if `a <= b` up to tolerance (`a` may overshoot by `tol`).
+#[inline]
+pub fn approx_le(a: f64, b: f64, tol: f64) -> bool {
+    a <= b + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_symmetric() {
+        assert!(approx_eq(2.0, 2.0 + 0.5e-6, DEFAULT_TOL));
+        assert!(approx_eq(2.0 + 0.5e-6, 2.0, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn approx_ge_le_admit_slack() {
+        assert!(approx_ge(0.999_999_5, 1.0, DEFAULT_TOL));
+        assert!(approx_le(1.000_000_5, 1.0, DEFAULT_TOL));
+        assert!(!approx_ge(0.99, 1.0, DEFAULT_TOL));
+        assert!(!approx_le(1.01, 1.0, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn exact_boundaries_pass() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_ge(1.0, 1.0, 0.0));
+        assert!(approx_le(1.0, 1.0, 0.0));
+    }
+}

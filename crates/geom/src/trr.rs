@@ -1,0 +1,384 @@
+//! Tilted rectangular regions — the workhorse of DME/BST embedding.
+
+use core::fmt;
+
+use crate::{Interval, Point, RotPoint};
+
+/// A tilted rectangular region (TRR): a possibly-degenerate rectangle whose
+/// sides have slope ±1 in the real plane, stored as an axis-aligned
+/// rectangle `u × v` in rotated coordinates (`u = x + y`, `v = x - y`).
+///
+/// Degenerate cases are first-class citizens:
+///
+/// * both axes degenerate → a single **point**;
+/// * exactly one axis degenerate → a **Manhattan arc** (segment of slope ±1),
+///   the shape of every zero-skew merging segment in DME;
+/// * neither degenerate → a 2-D region, as produced by bounded-skew merges
+///   and shortest-distance-region decompositions.
+///
+/// The key algebraic facts used throughout the engine (all exact in this
+/// representation, up to f64 rounding):
+///
+/// * `dilate(r)` is the set of points within L1 distance `r` of the TRR;
+/// * `distance` between TRRs is the minimum pairwise L1 distance;
+/// * if `ea + eb >= a.distance(&b)` then `a.dilate(ea) ∩ b.dilate(eb)` is a
+///   non-empty TRR, and **every** point `p` of it satisfies
+///   `d(p, a) <= ea` and `d(p, b) <= eb`, with both distances exactly
+///   `ea`/`eb` when `ea + eb` equals the distance.
+///
+/// ```
+/// use astdme_geom::{Point, Trr};
+///
+/// // A Manhattan arc from (0,0) to (2,2) (slope +1).
+/// let arc = Trr::manhattan_arc(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).unwrap();
+/// assert!(arc.is_arc(1e-9));
+/// assert_eq!(arc.distance(&Trr::from_point(Point::new(4.0, 2.0))), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trr {
+    u: Interval,
+    v: Interval,
+}
+
+impl Trr {
+    /// Builds a TRR from rotated-coordinate intervals.
+    #[inline]
+    pub fn from_rot(u: Interval, v: Interval) -> Self {
+        Self { u, v }
+    }
+
+    /// The degenerate TRR holding a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        let r = p.to_rot();
+        Self {
+            u: Interval::point(r.u),
+            v: Interval::point(r.v),
+        }
+    }
+
+    /// A Manhattan arc between two points, or `None` if the segment `p`–`q`
+    /// does not have slope ±1 (coincident points are allowed).
+    pub fn manhattan_arc(p: Point, q: Point) -> Option<Self> {
+        let (rp, rq) = (p.to_rot(), q.to_rot());
+        let du = (rp.u - rq.u).abs();
+        let dv = (rp.v - rq.v).abs();
+        // Slope +1 in real space: u varies, v constant. Slope -1: vice versa.
+        // Tolerate tiny rounding in the constant axis.
+        let tol = 1e-9 * (1.0 + du.max(dv));
+        if dv <= tol {
+            Some(Self {
+                u: Interval::new(rp.u.min(rq.u), rp.u.max(rq.u)),
+                v: Interval::point(0.5 * (rp.v + rq.v)),
+            })
+        } else if du <= tol {
+            Some(Self {
+                u: Interval::point(0.5 * (rp.u + rq.u)),
+                v: Interval::new(rp.v.min(rq.v), rp.v.max(rq.v)),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The `u`-axis interval (rotated coordinates).
+    #[inline]
+    pub fn u(&self) -> Interval {
+        self.u
+    }
+
+    /// The `v`-axis interval (rotated coordinates).
+    #[inline]
+    pub fn v(&self) -> Interval {
+        self.v
+    }
+
+    /// Returns `true` if the TRR is a single point (within `tol`).
+    #[inline]
+    pub fn is_point(&self, tol: f64) -> bool {
+        self.u.is_degenerate(tol) && self.v.is_degenerate(tol)
+    }
+
+    /// Returns `true` if the TRR is a Manhattan arc or point (within `tol`).
+    #[inline]
+    pub fn is_arc(&self, tol: f64) -> bool {
+        self.u.is_degenerate(tol) || self.v.is_degenerate(tol)
+    }
+
+    /// Center of the region, in real coordinates.
+    #[inline]
+    pub fn center(&self) -> Point {
+        RotPoint::new(self.u.mid(), self.v.mid()).to_real()
+    }
+
+    /// Minkowski dilation by radius `r >= 0`: the set of points within L1
+    /// distance `r` of this TRR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is negative or NaN.
+    #[inline]
+    pub fn dilate(&self, r: f64) -> Self {
+        Self {
+            u: self.u.dilate(r),
+            v: self.v.dilate(r),
+        }
+    }
+
+    /// Erosion by radius `r >= 0`, or `None` if the region vanishes.
+    #[inline]
+    pub fn shrink(&self, r: f64) -> Option<Self> {
+        Some(Self {
+            u: self.u.shrink(r)?,
+            v: self.v.shrink(r)?,
+        })
+    }
+
+    /// Intersection with `other`, or `None` if disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Option<Self> {
+        Some(Self {
+            u: self.u.intersect(&other.u)?,
+            v: self.v.intersect(&other.v)?,
+        })
+    }
+
+    /// Minimum L1 distance between the two regions (`0` if they overlap).
+    ///
+    /// This is the "merging cost" used by DME-family algorithms when
+    /// selecting nearest-neighbor subtree pairs.
+    #[inline]
+    pub fn distance(&self, other: &Self) -> f64 {
+        self.u.gap(&other.u).max(self.v.gap(&other.v))
+    }
+
+    /// L1 distance from point `p` to the region (`0` if inside).
+    #[inline]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.distance(&Self::from_point(p))
+    }
+
+    /// Returns `true` if `p` lies in the region, within `tol`.
+    #[inline]
+    pub fn contains(&self, p: Point, tol: f64) -> bool {
+        let r = p.to_rot();
+        self.u.contains(r.u, tol) && self.v.contains(r.v, tol)
+    }
+
+    /// Returns `true` if `other` is entirely contained in `self` (within
+    /// `tol` per axis).
+    #[inline]
+    pub fn contains_trr(&self, other: &Self, tol: f64) -> bool {
+        self.u.lo() <= other.u.lo() + tol
+            && self.u.hi() >= other.u.hi() - tol
+            && self.v.lo() <= other.v.lo() + tol
+            && self.v.hi() >= other.v.hi() - tol
+    }
+
+    /// The point of the region nearest to `p` in L1 distance.
+    ///
+    /// Clamping per rotated axis minimizes the L∞ rotated distance, which
+    /// equals the L1 real distance.
+    #[inline]
+    pub fn nearest_point(&self, p: Point) -> Point {
+        let r = p.to_rot();
+        RotPoint::new(self.u.clamp(r.u), self.v.clamp(r.v)).to_real()
+    }
+
+    /// A pair of points, one in each region, realizing [`Trr::distance`].
+    pub fn closest_pair(&self, other: &Self) -> (Point, Point) {
+        // Clamp the other's center into self, then clamp that into other,
+        // then back: after two clamps the pair is mutually nearest.
+        let q0 = other.nearest_point(self.center());
+        let p = self.nearest_point(q0);
+        let q = other.nearest_point(p);
+        (p, q)
+    }
+
+    /// Smallest TRR containing both regions.
+    #[inline]
+    pub fn hull(&self, other: &Self) -> Self {
+        Self {
+            u: self.u.hull(&other.u),
+            v: self.v.hull(&other.v),
+        }
+    }
+
+    /// Translates the region by `(dx, dy)` in real coordinates.
+    #[inline]
+    pub fn translate(&self, dx: f64, dy: f64) -> Self {
+        Self {
+            u: self.u.translate(dx + dy),
+            v: self.v.translate(dx - dy),
+        }
+    }
+
+    /// Half-perimeter in the L1 metric (`u` extent + `v` extent); `0` for a
+    /// point, the arc length for a Manhattan arc.
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        self.u.len() + self.v.len()
+    }
+
+    /// Largest pairwise L1 distance within the region.
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        self.u.len().max(self.v.len())
+    }
+
+    /// The four corners in real coordinates (duplicates collapse for
+    /// degenerate regions), in counter-clockwise order.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            RotPoint::new(self.u.lo(), self.v.lo()).to_real(),
+            RotPoint::new(self.u.hi(), self.v.lo()).to_real(),
+            RotPoint::new(self.u.hi(), self.v.hi()).to_real(),
+            RotPoint::new(self.u.lo(), self.v.hi()).to_real(),
+        ]
+    }
+}
+
+impl From<Point> for Trr {
+    #[inline]
+    fn from(p: Point) -> Self {
+        Self::from_point(p)
+    }
+}
+
+impl fmt::Display for Trr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TRR{{u: {}, v: {}}}", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn point_trr_distance_is_l1() {
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let b = Trr::from_point(pt(3.0, 4.0));
+        assert_eq!(a.distance(&b), 7.0);
+    }
+
+    #[test]
+    fn manhattan_arc_detects_slopes() {
+        assert!(Trr::manhattan_arc(pt(0.0, 0.0), pt(2.0, 2.0)).is_some());
+        assert!(Trr::manhattan_arc(pt(0.0, 0.0), pt(2.0, -2.0)).is_some());
+        assert!(Trr::manhattan_arc(pt(0.0, 0.0), pt(2.0, 1.0)).is_none());
+        // Coincident points form a degenerate arc.
+        let p = Trr::manhattan_arc(pt(1.0, 1.0), pt(1.0, 1.0)).unwrap();
+        assert!(p.is_point(1e-12));
+    }
+
+    #[test]
+    fn dilation_of_point_is_diamond_containing_sphere_boundary() {
+        let a = Trr::from_point(pt(0.0, 0.0)).dilate(2.0);
+        for p in [pt(2.0, 0.0), pt(0.0, 2.0), pt(-1.0, 1.0), pt(1.5, -0.5)] {
+            assert!(a.contains(p, 1e-12), "{p} should be in dilation");
+        }
+        assert!(!a.contains(pt(1.5, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn merge_locus_at_exact_split_is_isodistant() {
+        // Classic DME merge: dilate by ea and eb with ea + eb = distance.
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let b = Trr::from_point(pt(6.0, 2.0));
+        let d = a.distance(&b);
+        assert_eq!(d, 8.0);
+        let (ea, eb) = (3.0, 5.0);
+        let locus = a.dilate(ea).intersect(&b.dilate(eb)).unwrap();
+        assert!(locus.is_arc(1e-12));
+        // Every corner of the locus is exactly ea from a and eb from b.
+        for c in locus.corners() {
+            assert!((a.distance_to_point(c) - ea).abs() < 1e-9);
+            assert!((b.distance_to_point(c) - eb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn snaking_merge_locus_is_two_dimensional() {
+        let a = Trr::from_point(pt(0.0, 0.0));
+        let b = Trr::from_point(pt(4.0, 0.0));
+        // ea + eb exceeds the distance: overlap rectangle.
+        let locus = a.dilate(3.0).intersect(&b.dilate(3.0)).unwrap();
+        assert!(!locus.is_arc(1e-9));
+        for c in locus.corners() {
+            assert!(a.distance_to_point(c) <= 3.0 + 1e-9);
+            assert!(b.distance_to_point(c) <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nearest_point_is_contained_and_realizes_distance() {
+        let arc = Trr::manhattan_arc(pt(0.0, 0.0), pt(4.0, 4.0)).unwrap();
+        let p = pt(5.0, 1.0);
+        let n = arc.nearest_point(p);
+        assert!(arc.contains(n, 1e-9));
+        assert!((p.dist(n) - arc.distance_to_point(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closest_pair_realizes_distance() {
+        let a = Trr::manhattan_arc(pt(0.0, 0.0), pt(2.0, 2.0)).unwrap();
+        let b = Trr::manhattan_arc(pt(6.0, 0.0), pt(8.0, -2.0)).unwrap();
+        let (p, q) = a.closest_pair(&b);
+        assert!(a.contains(p, 1e-9));
+        assert!(b.contains(q, 1e-9));
+        assert!((p.dist(q) - a.distance(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_zero_iff_intersecting() {
+        let a = Trr::from_point(pt(0.0, 0.0)).dilate(2.0);
+        let b = Trr::from_point(pt(3.0, 0.0)).dilate(1.0);
+        assert_eq!(a.distance(&b), 0.0);
+        assert!(a.intersect(&b).is_some());
+        let c = Trr::from_point(pt(10.0, 0.0)).dilate(1.0);
+        assert!(a.distance(&c) > 0.0);
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn contains_trr_subset() {
+        let big = Trr::from_point(pt(0.0, 0.0)).dilate(5.0);
+        let small = Trr::from_point(pt(1.0, 1.0)).dilate(1.0);
+        assert!(big.contains_trr(&small, 1e-12));
+        assert!(!small.contains_trr(&big, 1e-12));
+    }
+
+    #[test]
+    fn corners_of_dilated_point_are_diamond_vertices() {
+        let t = Trr::from_point(pt(0.0, 0.0)).dilate(1.0);
+        let cs = t.corners();
+        let expected = [pt(-1.0, 0.0), pt(0.0, -1.0), pt(1.0, 0.0), pt(0.0, 1.0)];
+        for e in expected {
+            assert!(
+                cs.iter().any(|c| c.approx_eq(e, 1e-9)),
+                "missing corner {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn translate_moves_center() {
+        let t = Trr::from_point(pt(1.0, 2.0)).dilate(1.0).translate(3.0, -1.0);
+        assert!(t.center().approx_eq(pt(4.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn half_perimeter_and_diameter() {
+        let arc = Trr::manhattan_arc(pt(0.0, 0.0), pt(2.0, 2.0)).unwrap();
+        // Arc length in L1 is 4 (|dx| + |dy|).
+        assert_eq!(arc.half_perimeter(), 4.0);
+        assert_eq!(arc.diameter(), 4.0);
+        assert_eq!(Trr::from_point(pt(0.0, 0.0)).diameter(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the Manhattan-geometry substrate.
+//!
+//! These pin down the algebraic identities the embedding engine relies on:
+//! the rotation isometry, the metric laws of TRR distance, the exactness of
+//! iso-distance merge loci, and nearest-point optimality.
+
+use astdme_geom::{merge_locus, sdr_sample_arcs, Point, Trr};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-7;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Die-scale coordinates, including negatives and zero.
+    prop_oneof![Just(0.0), -1e4..1e4f64]
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn trr() -> impl Strategy<Value = Trr> {
+    // Random point dilated by a random radius, or a Manhattan arc.
+    prop_oneof![
+        point().prop_map(Trr::from_point),
+        (point(), 0.0..500.0f64).prop_map(|(p, r)| Trr::from_point(p).dilate(r)),
+        (point(), -300.0..300.0f64, prop::bool::ANY).prop_map(|(p, d, pos)| {
+            let q = if pos {
+                Point::new(p.x + d, p.y + d)
+            } else {
+                Point::new(p.x + d, p.y - d)
+            };
+            Trr::manhattan_arc(p, q).expect("constructed arc has slope +/-1")
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rotation_is_an_isometry(a in point(), b in point()) {
+        let d_real = a.dist(b);
+        let d_rot = a.to_rot().dist_linf(b.to_rot());
+        prop_assert!((d_real - d_rot).abs() <= TOL * (1.0 + d_real));
+    }
+
+    #[test]
+    fn rotation_roundtrips(p in point()) {
+        prop_assert!(p.approx_eq(p.to_rot().to_real(), 1e-9));
+    }
+
+    #[test]
+    fn trr_distance_is_symmetric(a in trr(), b in trr()) {
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn trr_distance_triangle_inequality(a in trr(), b in trr(), c in trr()) {
+        // Set distance satisfies d(a,c) <= d(a,b) + diam(b) + d(b,c).
+        let lhs = a.distance(&c);
+        let rhs = a.distance(&b) + b.diameter() + b.distance(&c);
+        prop_assert!(lhs <= rhs + TOL * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn dilation_contains_original_and_grows_distance_linearly(a in trr(), b in trr(), r in 0.0..200.0f64) {
+        prop_assert!(a.dilate(r).contains_trr(&a, 1e-9));
+        let d = a.distance(&b);
+        let dd = a.dilate(r).distance(&b);
+        prop_assert!((dd - (d - r).max(0.0)).abs() <= TOL * (1.0 + d));
+    }
+
+    #[test]
+    fn nearest_point_is_optimal_against_corner_samples(t in trr(), p in point()) {
+        let n = t.nearest_point(p);
+        prop_assert!(t.contains(n, 1e-7));
+        let d = t.distance_to_point(p);
+        prop_assert!((p.dist(n) - d).abs() <= TOL * (1.0 + d));
+        // No corner (or center) is closer.
+        for c in t.corners().into_iter().chain([t.center()]) {
+            prop_assert!(p.dist(c) >= d - TOL * (1.0 + d));
+        }
+    }
+
+    #[test]
+    fn closest_pair_realizes_set_distance(a in trr(), b in trr()) {
+        let (p, q) = a.closest_pair(&b);
+        let d = a.distance(&b);
+        prop_assert!(a.contains(p, 1e-6));
+        prop_assert!(b.contains(q, 1e-6));
+        prop_assert!((p.dist(q) - d).abs() <= TOL * (1.0 + d));
+    }
+
+    #[test]
+    fn exact_split_locus_is_isodistant(a in trr(), b in trr(), f in 0.0..=1.0f64) {
+        let d = a.distance(&b);
+        prop_assume!(d > 1e-6);
+        let ea = f * d;
+        let locus = merge_locus(&a, &b, ea, d - ea).expect("exact split is feasible");
+        let tol = TOL * (1.0 + d);
+        prop_assert!((a.distance(&locus) - ea).abs() <= tol);
+        prop_assert!((b.distance(&locus) - (d - ea)).abs() <= tol);
+        // Pointwise, too: corners lie at exactly the split distances.
+        for c in locus.corners() {
+            prop_assert!((a.distance_to_point(c) - ea).abs() <= tol);
+            prop_assert!((b.distance_to_point(c) - (d - ea)).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn snaking_locus_contains_exact_locus(a in trr(), b in trr(), f in 0.0..=1.0f64, extra in 0.0..100.0f64) {
+        let d = a.distance(&b);
+        prop_assume!(d > 1e-6);
+        let ea = f * d;
+        let exact = merge_locus(&a, &b, ea, d - ea).unwrap();
+        let slack = merge_locus(&a, &b, ea + extra, d - ea + extra).unwrap();
+        prop_assert!(slack.contains_trr(&exact, 1e-6));
+    }
+
+    #[test]
+    fn underfunded_locus_is_none(a in trr(), b in trr()) {
+        let d = a.distance(&b);
+        prop_assume!(d > 1.0);
+        prop_assert!(merge_locus(&a, &b, 0.25 * d, 0.25 * d).is_none());
+    }
+
+    #[test]
+    fn sdr_samples_lie_on_shortest_paths(a in trr(), b in trr()) {
+        let d = a.distance(&b);
+        prop_assume!(d > 1e-6);
+        for (ea, locus) in sdr_sample_arcs(&a, &b, 6) {
+            let tol = TOL * (1.0 + d);
+            prop_assert!((a.distance(&locus) - ea).abs() <= tol);
+            for c in locus.corners() {
+                let through = a.distance_to_point(c) + b.distance_to_point(c);
+                prop_assert!((through - d).abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in trr(), b in trr()) {
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_trr(&i, 1e-9));
+            prop_assert!(b.contains_trr(&i, 1e-9));
+            prop_assert!(a.distance(&b) <= TOL);
+        } else {
+            prop_assert!(a.distance(&b) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hull_contains_both(a in trr(), b in trr()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_trr(&a, 1e-9));
+        prop_assert!(h.contains_trr(&b, 1e-9));
+    }
+
+    #[test]
+    fn translate_preserves_shape_and_moves_distance_consistently(t in trr(), dx in -100.0..100.0f64, dy in -100.0..100.0f64) {
+        let moved = t.translate(dx, dy);
+        prop_assert!((moved.half_perimeter() - t.half_perimeter()).abs() <= 1e-9 * (1.0 + t.half_perimeter()));
+        let c = t.center();
+        let mc = moved.center();
+        prop_assert!((mc.x - (c.x + dx)).abs() <= 1e-9 * (1.0 + c.x.abs() + dx.abs()));
+        prop_assert!((mc.y - (c.y + dy)).abs() <= 1e-9 * (1.0 + c.y.abs() + dy.abs()));
+    }
+}

@@ -1,0 +1,151 @@
+//! Group partitioners: the two experimental regimes of the paper.
+
+use astdme_core::{Groups, Instance, InstanceError, Rect};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::Placement;
+
+/// Clustered groups (Table I): the die is divided into `k` rectangle boxes
+/// (as square a grid as divides `k`), and sinks in the same box form a
+/// group.
+///
+/// With clustered groups there is little opportunity to merge across
+/// groups, so associative skew saves only a few percent — the paper's
+/// first experiment.
+///
+/// # Errors
+///
+/// Fails if some box ends up empty (possible for extreme `k`; the paper
+/// uses `k <= 10` on hundreds of sinks, where this cannot happen in
+/// practice).
+pub fn clustered(p: &Placement, k: usize, _seed: u64) -> Result<Instance, InstanceError> {
+    let (cols, rows) = grid_shape(k);
+    let die = Rect::bounding(p.sinks.iter().map(|s| s.pos)).ok_or(InstanceError::NoSinks)?;
+    let assignment: Vec<usize> = p
+        .sinks
+        .iter()
+        .map(|s| die.grid_cell(cols, rows, s.pos))
+        .collect();
+    Instance::new(
+        p.sinks.clone(),
+        Groups::from_assignments(assignment, cols * rows)?,
+        p.rc,
+        p.source,
+    )
+}
+
+/// Intermingled groups (Table II): each sink is assigned to one of `k`
+/// groups uniformly at random (balanced shuffle), so the groups overlap
+/// everywhere — the paper's "difficult instances".
+pub fn intermingled(p: &Placement, k: usize, seed: u64) -> Result<Instance, InstanceError> {
+    let n = p.sinks.len();
+    // Balanced: round-robin labels, then shuffle positions.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x127_E3_4177);
+    labels.shuffle(&mut rng);
+    Instance::new(
+        p.sinks.clone(),
+        Groups::from_assignments(labels, k)?,
+        p.rc,
+        p.source,
+    )
+}
+
+/// One group containing every sink: the conventional-baseline partition
+/// (EXT-BST / greedy-DME rows in the tables).
+pub fn single(p: &Placement) -> Result<Instance, InstanceError> {
+    Instance::new(
+        p.sinks.clone(),
+        Groups::single(p.sinks.len())?,
+        p.rc,
+        p.source,
+    )
+}
+
+/// The most square `cols × rows` factorization with `cols * rows == k`.
+fn grid_shape(k: usize) -> (usize, usize) {
+    assert!(k > 0, "need at least one group");
+    let mut best = (k, 1);
+    for rows in 1..=k {
+        if k % rows == 0 {
+            let cols = k / rows;
+            if (cols as i64 - rows as i64).abs() < (best.0 as i64 - best.1 as i64).abs() {
+                best = (cols, rows);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{r_benchmark, RBench};
+
+    #[test]
+    fn grid_shape_prefers_square() {
+        assert_eq!(grid_shape(4), (2, 2));
+        assert_eq!(grid_shape(6), (3, 2));
+        assert_eq!(grid_shape(8), (4, 2));
+        assert_eq!(grid_shape(10), (5, 2));
+        assert_eq!(grid_shape(7), (7, 1));
+        assert_eq!(grid_shape(1), (1, 1));
+    }
+
+    #[test]
+    fn clustered_groups_are_spatially_separated() {
+        let p = r_benchmark(RBench::R1, 3);
+        let inst = clustered(&p, 4, 0).unwrap();
+        assert_eq!(inst.groups().group_count(), 4);
+        // Bounding boxes of distinct groups overlap at most at shared grid
+        // edges: check disjoint interiors via centers.
+        let die = Rect::bounding(p.sinks.iter().map(|s| s.pos)).unwrap();
+        for (i, s) in inst.sinks().iter().enumerate() {
+            let g = inst.group_of(i).index();
+            assert_eq!(die.grid_cell(2, 2, s.pos), g);
+        }
+    }
+
+    #[test]
+    fn intermingled_groups_are_balanced_and_deterministic() {
+        let p = r_benchmark(RBench::R1, 3);
+        let a = intermingled(&p, 6, 9).unwrap();
+        let b = intermingled(&p, 6, 9).unwrap();
+        assert_eq!(a, b);
+        let c = intermingled(&p, 6, 10).unwrap();
+        assert_ne!(a.groups().assignment(), c.groups().assignment());
+        // Balance: group sizes differ by at most one.
+        let sizes: Vec<usize> = (0..6)
+            .map(|g| a.groups().members(astdme_core::GroupId(g as u32)).len())
+            .collect();
+        let (lo, hi) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        assert!(hi - lo <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn intermingled_groups_really_intermingle() {
+        // Each group's bounding box should cover most of the die.
+        let p = r_benchmark(RBench::R2, 5);
+        let inst = intermingled(&p, 4, 1).unwrap();
+        let die = Rect::bounding(p.sinks.iter().map(|s| s.pos)).unwrap();
+        for g in 0..4 {
+            let members = inst.groups().members(astdme_core::GroupId(g));
+            let bb = Rect::bounding(members.iter().map(|&i| inst.sinks()[i].pos)).unwrap();
+            assert!(bb.width() > 0.8 * die.width(), "group {g} too clustered");
+            assert!(bb.height() > 0.8 * die.height());
+        }
+    }
+
+    #[test]
+    fn single_partition_has_one_group() {
+        let p = r_benchmark(RBench::R1, 3);
+        let inst = single(&p).unwrap();
+        assert_eq!(inst.groups().group_count(), 1);
+        assert_eq!(inst.sink_count(), 267);
+    }
+}

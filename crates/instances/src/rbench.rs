@@ -1,0 +1,138 @@
+//! Synthetic `r1`–`r5` placements.
+
+use astdme_core::{Point, RcParams, Sink};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Die side used for all synthetic benchmarks, µm. At 0.003 Ω/µm and
+/// 0.02 fF/µm this puts root-to-sink Elmore delays in the hundreds of
+/// picoseconds, the regime of the original `r1`–`r5`.
+pub const DIE_SIDE: f64 = 100_000.0;
+
+/// The five benchmark sizes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RBench {
+    /// 267 sinks.
+    R1,
+    /// 598 sinks.
+    R2,
+    /// 862 sinks.
+    R3,
+    /// 1903 sinks.
+    R4,
+    /// 3101 sinks.
+    R5,
+}
+
+impl RBench {
+    /// All five, in order.
+    pub const ALL: [RBench; 5] = [RBench::R1, RBench::R2, RBench::R3, RBench::R4, RBench::R5];
+
+    /// Number of sinks, matching the original benchmark.
+    pub fn sink_count(self) -> usize {
+        match self {
+            RBench::R1 => 267,
+            RBench::R2 => 598,
+            RBench::R3 => 862,
+            RBench::R4 => 1903,
+            RBench::R5 => 3101,
+        }
+    }
+
+    /// The conventional name (`"r1"` … `"r5"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RBench::R1 => "r1",
+            RBench::R2 => "r2",
+            RBench::R3 => "r3",
+            RBench::R4 => "r4",
+            RBench::R5 => "r5",
+        }
+    }
+}
+
+/// A sink placement with technology — an instance minus its group
+/// partition. Partitioners (see [`crate::partition`]) turn one placement
+/// into many instances, so the comparison across group counts uses
+/// identical geometry, as in the paper's tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Sink positions and loads.
+    pub sinks: Vec<Sink>,
+    /// Interconnect technology.
+    pub rc: RcParams,
+    /// Clock source location (die center).
+    pub source: Point,
+    /// Human-readable name for tables.
+    pub name: String,
+}
+
+/// Generates the synthetic equivalent of one `r` benchmark: `sink_count`
+/// sinks placed uniformly at random on the die, loads uniform in
+/// 5–55 fF, source at the die center. Deterministic in `seed` (and
+/// portable: ChaCha12).
+pub fn r_benchmark(bench: RBench, seed: u64) -> Placement {
+    synthetic_instance(bench.sink_count(), seed, bench.name())
+}
+
+/// Generates an arbitrary-size synthetic placement (see [`r_benchmark`]).
+pub fn synthetic_instance(n: usize, seed: u64, name: &str) -> Placement {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xA57_D3E5_EED);
+    let sinks = (0..n)
+        .map(|_| {
+            let x = rng.random_range(0.0..DIE_SIDE);
+            let y = rng.random_range(0.0..DIE_SIDE);
+            let cap = rng.random_range(5.0e-15..55.0e-15);
+            Sink::new(Point::new(x, y), cap)
+        })
+        .collect();
+    Placement {
+        sinks,
+        rc: RcParams::default(),
+        source: Point::new(0.5 * DIE_SIDE, 0.5 * DIE_SIDE),
+        name: name.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_counts_match_the_paper() {
+        assert_eq!(RBench::R1.sink_count(), 267);
+        assert_eq!(RBench::R2.sink_count(), 598);
+        assert_eq!(RBench::R3.sink_count(), 862);
+        assert_eq!(RBench::R4.sink_count(), 1903);
+        assert_eq!(RBench::R5.sink_count(), 3101);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = r_benchmark(RBench::R1, 7);
+        let b = r_benchmark(RBench::R1, 7);
+        assert_eq!(a, b);
+        let c = r_benchmark(RBench::R1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sinks_are_on_die_with_valid_loads() {
+        let p = r_benchmark(RBench::R2, 1);
+        assert_eq!(p.sinks.len(), 598);
+        for s in &p.sinks {
+            assert!(s.pos.x >= 0.0 && s.pos.x <= DIE_SIDE);
+            assert!(s.pos.y >= 0.0 && s.pos.y <= DIE_SIDE);
+            assert!(s.cap >= 5.0e-15 && s.cap <= 55.0e-15);
+        }
+        assert_eq!(p.source, Point::new(50_000.0, 50_000.0));
+    }
+
+    #[test]
+    fn names_and_all() {
+        assert_eq!(RBench::ALL.len(), 5);
+        assert_eq!(RBench::R3.name(), "r3");
+        assert_eq!(r_benchmark(RBench::R4, 0).name, "r4");
+    }
+}

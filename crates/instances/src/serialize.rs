@@ -1,0 +1,116 @@
+//! JSON (de)serialization of routing instances.
+//!
+//! A small stable format so experiments can be pinned to files and shared:
+//! positions/loads/technology/source plus the group assignment and bounds.
+
+use astdme_core::{Groups, Instance, InstanceError, Point, RcParams, Sink};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Serialize, Deserialize)]
+struct InstanceFile {
+    format: String,
+    r_per_um: f64,
+    c_per_um: f64,
+    source: [f64; 2],
+    sinks: Vec<SinkRec>,
+    group_count: usize,
+    bounds: Vec<f64>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SinkRec {
+    x: f64,
+    y: f64,
+    cap: f64,
+    group: usize,
+}
+
+/// Serializes an instance to pretty JSON.
+pub fn to_json(inst: &Instance) -> String {
+    let file = InstanceFile {
+        format: "astdme-instance-v1".to_string(),
+        r_per_um: inst.rc().r_per_um(),
+        c_per_um: inst.rc().c_per_um(),
+        source: [inst.source().x, inst.source().y],
+        sinks: inst
+            .sinks()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SinkRec {
+                x: s.pos.x,
+                y: s.pos.y,
+                cap: s.cap,
+                group: inst.group_of(i).index(),
+            })
+            .collect(),
+        group_count: inst.groups().group_count(),
+        bounds: inst.groups().bounds().to_vec(),
+    };
+    serde_json::to_string_pretty(&file).expect("instance file serializes")
+}
+
+/// Parses an instance from JSON produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns a string description for malformed JSON or an
+/// [`InstanceError`]-derived message for semantically invalid content.
+pub fn from_json(s: &str) -> Result<Instance, String> {
+    let file: InstanceFile = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    if file.format != "astdme-instance-v1" {
+        return Err(format!("unknown instance format {:?}", file.format));
+    }
+    let sinks: Vec<Sink> = file
+        .sinks
+        .iter()
+        .map(|r| Sink::new(Point::new(r.x, r.y), r.cap))
+        .collect();
+    let assignment: Vec<usize> = file.sinks.iter().map(|r| r.group).collect();
+    let groups = Groups::from_assignments(assignment, file.group_count)
+        .and_then(|g| g.with_bounds(file.bounds))
+        .map_err(err_str)?;
+    Instance::new(
+        sinks,
+        groups,
+        RcParams::new(file.r_per_um, file.c_per_um),
+        Point::new(file.source[0], file.source[1]),
+    )
+    .map_err(err_str)
+}
+
+fn err_str(e: InstanceError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition, r_benchmark, RBench};
+
+    #[test]
+    fn roundtrip_preserves_instance() {
+        let p = r_benchmark(RBench::R1, 11);
+        let inst = partition::intermingled(&p, 4, 2).unwrap();
+        let json = to_json(&inst);
+        let back = from_json(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn rejects_unknown_format_and_garbage() {
+        assert!(from_json("not json").is_err());
+        let p = r_benchmark(RBench::R1, 11);
+        let inst = partition::single(&p).unwrap();
+        let bad = to_json(&inst).replace("astdme-instance-v1", "v999");
+        assert!(from_json(&bad).unwrap_err().contains("unknown instance format"));
+    }
+
+    #[test]
+    fn rejects_semantically_invalid() {
+        let p = r_benchmark(RBench::R1, 11);
+        let inst = partition::single(&p).unwrap();
+        // Corrupt a group index beyond group_count.
+        let bad = to_json(&inst).replacen("\"group\": 0", "\"group\": 99", 1);
+        assert!(from_json(&bad).is_err());
+    }
+}

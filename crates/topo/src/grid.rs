@@ -1,0 +1,279 @@
+//! Bucketed neighbor index over subtree root regions.
+
+use std::collections::HashMap;
+
+use astdme_geom::{Point, Trr};
+
+/// A uniform-grid index over region center points, answering approximate
+/// nearest-neighbor queries by exact region distance.
+///
+/// Regions are bucketed by center; queries expand rings of cells outward
+/// and stop once no unvisited cell can beat the best exact distance found
+/// (accounting for region extents). Used by the merge planners to avoid
+/// all-pairs scans.
+///
+/// ```
+/// use astdme_geom::{Point, Trr};
+/// use astdme_topo::GridIndex;
+///
+/// let items = vec![
+///     (7, Trr::from_point(Point::new(0.0, 0.0))),
+///     (9, Trr::from_point(Point::new(10.0, 0.0))),
+///     (4, Trr::from_point(Point::new(100.0, 100.0))),
+/// ];
+/// let idx = GridIndex::build(&items);
+/// let (nn, d) = idx.nearest(7, &items[0].1).unwrap();
+/// assert_eq!(nn, 9);
+/// assert_eq!(d, 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cells: HashMap<(i64, i64), Vec<(usize, Trr)>>,
+    cell_size: f64,
+    origin: Point,
+    max_extent: f64,
+    len: usize,
+    // Populated cell bounds (conservative: never shrunk on removal).
+    cell_min: (i64, i64),
+    cell_max: (i64, i64),
+}
+
+impl GridIndex {
+    /// Builds an index over `(key, region)` items.
+    ///
+    /// Keys must be unique; duplicates make `nearest` results ambiguous.
+    pub fn build(items: &[(usize, Trr)]) -> Self {
+        let n = items.len().max(1);
+        let centers: Vec<Point> = items.iter().map(|(_, t)| t.center()).collect();
+        let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+        for c in &centers {
+            x0 = x0.min(c.x);
+            y0 = y0.min(c.y);
+            x1 = x1.max(c.x);
+            y1 = y1.max(c.y);
+        }
+        if centers.is_empty() {
+            (x0, y0, x1, y1) = (0.0, 0.0, 1.0, 1.0);
+        }
+        // ~1-2 items per cell on average; for degenerate (e.g. collinear)
+        // layouts the area underestimates spacing badly, so also respect
+        // the per-axis average spacing, and never go below a sane floor.
+        let (w, h) = (x1 - x0, y1 - y0);
+        let cell_size = (w * h / n as f64)
+            .sqrt()
+            .max(w / n as f64)
+            .max(h / n as f64)
+            .max(1e-9 * (1.0 + w.max(h)))
+            .max(1e-9);
+        let max_extent = items
+            .iter()
+            .map(|(_, t)| t.diameter())
+            .fold(0.0f64, f64::max);
+        let mut g = Self {
+            cells: HashMap::with_capacity(n),
+            cell_size,
+            origin: Point::new(x0, y0),
+            max_extent,
+            len: 0,
+            cell_min: (i64::MAX, i64::MAX),
+            cell_max: (i64::MIN, i64::MIN),
+        };
+        for (key, trr) in items {
+            g.insert(*key, *trr);
+        }
+        g
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            ((p.x - self.origin.x) / self.cell_size).floor() as i64,
+            ((p.y - self.origin.y) / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, key: usize, region: Trr) {
+        self.max_extent = self.max_extent.max(region.diameter());
+        let cell = self.cell_of(region.center());
+        self.cell_min = (self.cell_min.0.min(cell.0), self.cell_min.1.min(cell.1));
+        self.cell_max = (self.cell_max.0.max(cell.0), self.cell_max.1.max(cell.1));
+        self.cells.entry(cell).or_default().push((key, region));
+        self.len += 1;
+    }
+
+    /// Removes an item by key; returns `true` if it was present.
+    pub fn remove(&mut self, key: usize, region: &Trr) -> bool {
+        let cell = self.cell_of(region.center());
+        if let Some(v) = self.cells.get_mut(&cell) {
+            if let Some(i) = v.iter().position(|(k, _)| *k == key) {
+                v.swap_remove(i);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The nearest other item to `region` (excluding `key` itself), by
+    /// exact region distance, or `None` if the index has no other items.
+    pub fn nearest(&self, key: usize, region: &Trr) -> Option<(usize, f64)> {
+        if self.len <= 1 {
+            return None;
+        }
+        let center_cell = self.cell_of(region.center());
+        // Every populated cell lies within Chebyshev distance `max_ring` of
+        // the query cell, so rings beyond it cannot contain items.
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        let mut best: Option<(usize, f64)> = None;
+        for ring in 0..=max_ring {
+            // Lower bound on distance for items in this ring: their center
+            // is at least (ring - 1) cells away; subtract region extents.
+            let ring_lb =
+                ((ring - 1).max(0) as f64) * self.cell_size - self.max_extent - region.diameter();
+            if let Some((_, d)) = best {
+                if d <= ring_lb {
+                    break;
+                }
+            }
+            for (cx, cy) in ring_cells(center_cell, ring) {
+                let Some(items) = self.cells.get(&(cx, cy)) else {
+                    continue;
+                };
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if best.map_or(true, |(_, bd)| d < bd) {
+                        best = Some((*k, d));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The cells at Chebyshev ring `r` around `center` (all cells for `r = 0`
+/// means just the center).
+fn ring_cells(center: (i64, i64), r: i64) -> Vec<(i64, i64)> {
+    let (cx, cy) = center;
+    if r == 0 {
+        return vec![center];
+    }
+    let mut out = Vec::with_capacity((8 * r) as usize);
+    for dx in -r..=r {
+        out.push((cx + dx, cy - r));
+        out.push((cx + dx, cy + r));
+    }
+    for dy in (-r + 1)..r {
+        out.push((cx - r, cy + dy));
+        out.push((cx + r, cy + dy));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<(usize, Trr)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (i, Trr::from_point(Point::new(x, y))))
+            .collect()
+    }
+
+    #[test]
+    fn nearest_matches_bruteforce_on_random_points() {
+        // Deterministic pseudo-random layout.
+        let mut coords = Vec::new();
+        let mut s: u64 = 42;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 16) % 10_000) as f64 / 10.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((s >> 16) % 10_000) as f64 / 10.0;
+            coords.push((x, y));
+        }
+        let items = pts(&coords);
+        let idx = GridIndex::build(&items);
+        for (key, region) in &items {
+            let (nn, d) = idx.nearest(*key, region).unwrap();
+            // Brute force.
+            let (bf, bd) = items
+                .iter()
+                .filter(|(k, _)| k != key)
+                .map(|(k, t)| (*k, region.distance(t)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            assert!(
+                (d - bd).abs() < 1e-9,
+                "key {key}: grid found {nn}@{d}, brute force {bf}@{bd}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_none_for_single_item() {
+        let items = pts(&[(0.0, 0.0)]);
+        let idx = GridIndex::build(&items);
+        assert!(idx.nearest(0, &items[0].1).is_none());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let items = pts(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        let mut idx = GridIndex::build(&items);
+        assert_eq!(idx.len(), 3);
+        assert!(idx.remove(1, &items[1].1));
+        assert!(!idx.remove(1, &items[1].1));
+        assert_eq!(idx.len(), 2);
+        let (nn, d) = idx.nearest(0, &items[0].1).unwrap();
+        assert_eq!(nn, 2);
+        assert_eq!(d, 20.0);
+        idx.insert(1, items[1].1);
+        let (nn, _) = idx.nearest(0, &items[0].1).unwrap();
+        assert_eq!(nn, 1);
+    }
+
+    #[test]
+    fn regions_with_extent_use_region_distance() {
+        // A big region whose center is far but whose edge is near.
+        let a = (0usize, Trr::from_point(Point::new(0.0, 0.0)));
+        let big = (1usize, Trr::from_point(Point::new(100.0, 0.0)).dilate(95.0));
+        let far = (2usize, Trr::from_point(Point::new(30.0, 0.0)));
+        let items = vec![a, big, far];
+        let idx = GridIndex::build(&items);
+        let (nn, d) = idx.nearest(0, &items[0].1).unwrap();
+        assert_eq!(nn, 1, "the dilated region is nearer by set distance");
+        assert!((d - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustered_points_found_across_cells() {
+        let items = pts(&[(0.0, 0.0), (1000.0, 1000.0), (1000.5, 1000.5), (2000.0, 0.0)]);
+        let idx = GridIndex::build(&items);
+        let (nn, _) = idx.nearest(1, &items[1].1).unwrap();
+        assert_eq!(nn, 2);
+        let (nn0, d0) = idx.nearest(0, &items[0].1).unwrap();
+        assert_eq!(nn0, 1);
+        assert!((d0 - 2000.0).abs() < 1e-9);
+    }
+}

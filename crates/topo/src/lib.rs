@@ -1,0 +1,29 @@
+//! Merging-order schemes for bottom-up clock routing.
+//!
+//! The AST-DME algorithm (Kim 2006, Fig. 6, step 3) repeatedly merges the
+//! pair of subtrees at minimum merging cost. This crate provides:
+//!
+//! * [`GridIndex`] — a bucketed neighbor index over subtree root regions,
+//!   so nearest-pair queries do not scan all pairs;
+//! * [`plan_round`] — one round of merge planning under a [`TopoConfig`]:
+//!   * [`MergeOrder::GreedyNearest`]: the paper's base scheme, one
+//!     minimum-cost pair per round;
+//!   * [`MergeOrder::MultiMerge`]: Edahiro's simultaneous multi-merging
+//!     (enhancement 1 of Ch. V.F) — a large set of disjoint nearest pairs
+//!     per round, reducing neighbor-graph rebuilds;
+//!   * a **delay-target bias** (enhancement 2 of Ch. V.F): preferring to
+//!     merge subtrees with large accumulated delay first, which reduces
+//!     later imbalance and hence wire snaking.
+//!
+//! The schemes only *order* merges; skew feasibility is enforced by the
+//! engine regardless, so any ordering yields a correct tree — ordering
+//! affects wirelength and runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod plan;
+
+pub use grid::GridIndex;
+pub use plan::{plan_round, MergeOrder, MergeSpace, TopoConfig};

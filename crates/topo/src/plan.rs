@@ -1,0 +1,290 @@
+//! Merge-round planning: which subtree pairs to merge next.
+
+use astdme_geom::Trr;
+
+use crate::GridIndex;
+
+/// What the planner needs to know about the current set of subtrees.
+///
+/// Implemented by the routing driver over its merge forest; keys are the
+/// driver's node identifiers.
+pub trait MergeSpace {
+    /// Representative region of subtree `id` (hull of its candidates).
+    fn region(&self, id: usize) -> Trr;
+    /// Exact merging cost between two subtrees (minimum candidate
+    /// distance).
+    fn distance(&self, a: usize, b: usize) -> f64;
+    /// Largest accumulated root-to-sink delay of the subtree (seconds),
+    /// for the delay-target bias.
+    fn delay(&self, id: usize) -> f64;
+}
+
+/// Merge ordering scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergeOrder {
+    /// One globally minimum-cost pair per round (the base scheme of the
+    /// paper's Fig. 6).
+    GreedyNearest,
+    /// Edahiro-style simultaneous multi-merging: up to `fraction` of the
+    /// current subtrees are paired off per round, by ascending cost among
+    /// mutually disjoint nearest pairs. `fraction` in `(0, 0.5]`.
+    MultiMerge {
+        /// Fraction of current subtrees to pair off per round.
+        fraction: f64,
+    },
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopoConfig {
+    /// The ordering scheme.
+    pub order: MergeOrder,
+    /// Delay-target bias (Ch. V.F enhancement 2): pairs are ranked by
+    /// `distance - delay_weight * (delay_a + delay_b)`, so subtrees that
+    /// are already slow merge earlier, reducing later imbalance and
+    /// snaking. Units: µm per second of delay. `0.0` disables the bias.
+    pub delay_weight: f64,
+}
+
+impl Default for TopoConfig {
+    /// Multi-merge at a quarter of the subtrees per round — the paper's
+    /// enhanced configuration — with the delay bias off.
+    fn default() -> Self {
+        Self {
+            order: MergeOrder::MultiMerge { fraction: 0.25 },
+            delay_weight: 0.0,
+        }
+    }
+}
+
+impl TopoConfig {
+    /// The plain greedy scheme of Fig. 6 (one pair per round, no bias).
+    pub fn greedy() -> Self {
+        Self {
+            order: MergeOrder::GreedyNearest,
+            delay_weight: 0.0,
+        }
+    }
+}
+
+/// Plans one merge round over the `active` subtrees.
+///
+/// Returns disjoint pairs to merge, best first: exactly one for
+/// [`MergeOrder::GreedyNearest`], up to `fraction * active.len()` for
+/// [`MergeOrder::MultiMerge`]. Returns an empty vector when fewer than two
+/// subtrees remain.
+///
+/// The planner is deterministic: ties break toward smaller keys.
+pub fn plan_round<S: MergeSpace>(space: &S, active: &[usize], cfg: &TopoConfig) -> Vec<(usize, usize)> {
+    if active.len() < 2 {
+        return Vec::new();
+    }
+    // Exact all-pairs for small sets; grid-accelerated NN otherwise.
+    let nn: Vec<(usize, usize, f64)> = if active.len() <= 32 {
+        nearest_bruteforce(space, active)
+    } else {
+        nearest_with_grid(space, active)
+    };
+    let score = |&(a, b, d): &(usize, usize, f64)| {
+        d - cfg.delay_weight * (space.delay(a) + space.delay(b))
+    };
+    let mut ranked = nn;
+    ranked.sort_by(|x, y| {
+        score(x)
+            .partial_cmp(&score(y))
+            .expect("scores are not NaN")
+            .then(x.0.cmp(&y.0))
+            .then(x.1.cmp(&y.1))
+    });
+    let limit = match cfg.order {
+        MergeOrder::GreedyNearest => 1,
+        MergeOrder::MultiMerge { fraction } => {
+            let f = fraction.clamp(1e-6, 0.5);
+            ((active.len() as f64 * f).ceil() as usize).max(1)
+        }
+    };
+    let mut used = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(limit);
+    for (a, b, _) in ranked {
+        if out.len() >= limit {
+            break;
+        }
+        if used.contains(&a) || used.contains(&b) {
+            continue;
+        }
+        used.insert(a);
+        used.insert(b);
+        out.push((a, b));
+    }
+    out
+}
+
+/// For every active subtree, its nearest neighbor (deduplicated to
+/// unordered pairs).
+fn nearest_bruteforce<S: MergeSpace>(space: &S, active: &[usize]) -> Vec<(usize, usize, f64)> {
+    let mut pairs = Vec::with_capacity(active.len());
+    for (i, &a) in active.iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &b) in active.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = space.distance(a, b);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((b, d));
+            }
+        }
+        if let Some((b, d)) = best {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            pairs.push((lo, hi, d));
+        }
+    }
+    dedup_pairs(pairs)
+}
+
+fn nearest_with_grid<S: MergeSpace>(space: &S, active: &[usize]) -> Vec<(usize, usize, f64)> {
+    let items: Vec<(usize, Trr)> = active.iter().map(|&id| (id, space.region(id))).collect();
+    let grid = GridIndex::build(&items);
+    let mut pairs = Vec::with_capacity(items.len());
+    for (id, region) in &items {
+        if let Some((nn, _)) = grid.nearest(*id, region) {
+            // Grid distance is between representative regions; refine with
+            // the exact candidate-level cost.
+            let d = space.distance(*id, nn);
+            let (lo, hi) = if *id < nn { (*id, nn) } else { (nn, *id) };
+            pairs.push((lo, hi, d));
+        }
+    }
+    dedup_pairs(pairs)
+}
+
+fn dedup_pairs(mut pairs: Vec<(usize, usize, f64)>) -> Vec<(usize, usize, f64)> {
+    pairs.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+    pairs.dedup_by(|x, y| x.0 == y.0 && x.1 == y.1);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astdme_geom::Point;
+
+    /// A toy space over explicit points with optional delays.
+    struct Pts {
+        pts: Vec<Point>,
+        delays: Vec<f64>,
+    }
+
+    impl Pts {
+        fn new(coords: &[(f64, f64)]) -> Self {
+            Self {
+                pts: coords.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+                delays: vec![0.0; coords.len()],
+            }
+        }
+    }
+
+    impl MergeSpace for Pts {
+        fn region(&self, id: usize) -> Trr {
+            Trr::from_point(self.pts[id])
+        }
+        fn distance(&self, a: usize, b: usize) -> f64 {
+            self.pts[a].dist(self.pts[b])
+        }
+        fn delay(&self, id: usize) -> f64 {
+            self.delays[id]
+        }
+    }
+
+    #[test]
+    fn greedy_picks_the_global_minimum_pair() {
+        let s = Pts::new(&[(0.0, 0.0), (5.0, 0.0), (100.0, 0.0), (101.0, 0.0)]);
+        let plan = plan_round(&s, &[0, 1, 2, 3], &TopoConfig::greedy());
+        assert_eq!(plan, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn multi_merge_returns_disjoint_pairs() {
+        let s = Pts::new(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (10.0, 0.0),
+            (11.0, 0.0),
+            (20.0, 0.0),
+            (21.5, 0.0),
+        ]);
+        let cfg = TopoConfig {
+            order: MergeOrder::MultiMerge { fraction: 0.5 },
+            delay_weight: 0.0,
+        };
+        let plan = plan_round(&s, &[0, 1, 2, 3, 4, 5], &cfg);
+        assert_eq!(plan.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in &plan {
+            assert!(seen.insert(*a));
+            assert!(seen.insert(*b));
+        }
+        // Best pair first.
+        assert_eq!(plan[0], (0, 1));
+    }
+
+    #[test]
+    fn empty_and_single_return_no_pairs() {
+        let s = Pts::new(&[(0.0, 0.0)]);
+        assert!(plan_round(&s, &[], &TopoConfig::default()).is_empty());
+        assert!(plan_round(&s, &[0], &TopoConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn delay_bias_promotes_slow_subtrees() {
+        let mut s = Pts::new(&[(0.0, 0.0), (10.0, 0.0), (100.0, 0.0), (115.0, 0.0)]);
+        // The far pair is slower; with enough bias it merges first even
+        // though it is geometrically more expensive.
+        s.delays = vec![0.0, 0.0, 1e-12, 1e-12];
+        let unbiased = plan_round(&s, &[0, 1, 2, 3], &TopoConfig::greedy());
+        assert_eq!(unbiased, vec![(0, 1)]);
+        let biased = plan_round(
+            &s,
+            &[0, 1, 2, 3],
+            &TopoConfig {
+                order: MergeOrder::GreedyNearest,
+                delay_weight: 1e13, // 10 um per 1e-12 s
+            },
+        );
+        assert_eq!(biased, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn grid_and_bruteforce_agree_on_larger_sets() {
+        // 40 points: exercises the grid path (> 32) against brute force.
+        let mut coords = Vec::new();
+        let mut s: u64 = 7;
+        for _ in 0..40 {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            coords.push((((s >> 20) % 1000) as f64, ((s >> 40) % 1000) as f64));
+        }
+        let space = Pts::new(&coords);
+        let active: Vec<usize> = (0..coords.len()).collect();
+        let greedy = plan_round(&space, &active, &TopoConfig::greedy());
+        let bf = nearest_bruteforce(&space, &active);
+        let best_bf = bf
+            .iter()
+            .min_by(|x, y| x.2.partial_cmp(&y.2).unwrap())
+            .unwrap();
+        assert_eq!(greedy[0], (best_bf.0, best_bf.1));
+    }
+
+    #[test]
+    fn multi_merge_fraction_bounds_pair_count() {
+        let coords: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 3.0, 0.0)).collect();
+        let s = Pts::new(&coords);
+        let active: Vec<usize> = (0..100).collect();
+        let cfg = TopoConfig {
+            order: MergeOrder::MultiMerge { fraction: 0.25 },
+            delay_weight: 0.0,
+        };
+        let plan = plan_round(&s, &active, &cfg);
+        assert!(!plan.is_empty());
+        assert!(plan.len() <= 25);
+    }
+}

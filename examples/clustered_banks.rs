@@ -1,0 +1,36 @@
+//! Clustered groups: memory-bank style floorplan where each group occupies
+//! its own rectangle of the die (the paper's Table I regime). With little
+//! opportunity to merge across groups, associative skew saves only a few
+//! percent — run next to `intermingled_soc` to see the contrast.
+//!
+//! Run with: `cargo run --release --example clustered_banks`
+
+use astdme::instances::{partition, r_benchmark, RBench};
+use astdme::{audit, AstDme, ClockRouter, DelayModel, ExtBst};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let placement = r_benchmark(RBench::R1, 7);
+    let model = DelayModel::elmore(placement.rc);
+
+    // Baseline: one global 10 ps bound.
+    let single = partition::single(&placement)?;
+    let bst = ExtBst::paper().route(&single)?;
+    let baseline = audit(&bst, &single, &model).wirelength();
+    println!("EXT-BST baseline: {baseline:.0} um");
+
+    println!("\n| #banks | AST-DME wirelen (um) | vs baseline | Global skew (ps) |");
+    println!("|--------|----------------------|-------------|------------------|");
+    for k in [4usize, 6, 8, 10] {
+        let inst = partition::clustered(&placement, k, 0)?;
+        let inst = inst.with_groups(inst.groups().clone().with_uniform_bound(10e-12)?)?;
+        let tree = AstDme::new().route(&inst)?;
+        let report = audit(&tree, &inst, &model);
+        println!(
+            "| {k} | {:.0} | {:+.2}% | {:.1} |",
+            report.wirelength(),
+            (1.0 - report.wirelength() / baseline) * 100.0,
+            report.global_skew() * 1e12
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! The four merge cases of the paper's Fig. 6, demonstrated one at a time
+//! at the engine level (Figs. 1, 3, 4, 5 of the paper).
+//!
+//! Run with: `cargo run --example merge_cases`
+
+use astdme::{
+    DelayModel, EngineConfig, GroupId, Groups, Instance, MergeForest, Point, RcParams, Sink,
+};
+use astdme_geom::sdr_sample_arcs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rc = RcParams::default();
+    let model = DelayModel::elmore(rc);
+
+    // Case 1 (Fig. 1a): same group, zero skew -> a single merging segment.
+    println!("== same group, zero skew (classic DME, Fig. 1a)");
+    let inst = Instance::new(
+        vec![
+            Sink::new(Point::new(0.0, 0.0), 1e-14),
+            Sink::new(Point::new(2000.0, 600.0), 3e-14),
+        ],
+        Groups::single(2)?,
+        rc,
+        Point::new(1000.0, 3000.0),
+    )?;
+    let mut f = MergeForest::for_instance_with_model(&inst, model, EngineConfig::default());
+    let leaves = f.leaves();
+    let m = f.merge(leaves[0], leaves[1]);
+    let c = &f.candidates(m)[0];
+    println!(
+        "  merging segment: {} (an arc: {})",
+        c.region,
+        c.region.is_arc(1e-9)
+    );
+    println!("  group delay spread: {:.2e} s\n", c.delays.max_spread());
+
+    // Case 2 (Fig. 3): different groups -> the SDR is the merging region.
+    println!("== different groups (SDR merging region, Fig. 3)");
+    let inst = Instance::new(
+        vec![
+            Sink::new(Point::new(0.0, 0.0), 1e-14),
+            Sink::new(Point::new(2000.0, 600.0), 3e-14),
+        ],
+        Groups::from_assignments(vec![0, 1], 2)?,
+        rc,
+        Point::new(1000.0, 3000.0),
+    )?;
+    let mut f = MergeForest::for_instance_with_model(&inst, model, EngineConfig::default());
+    let leaves = f.leaves();
+    let a_region = f.candidates(leaves[0])[0].region;
+    let b_region = f.candidates(leaves[1])[0].region;
+    println!("  SDR iso-distance arcs between the sinks:");
+    for (ea, locus) in sdr_sample_arcs(&a_region, &b_region, 5) {
+        println!("    ea = {ea:7.1} um -> locus {locus}");
+    }
+    let m = f.merge(leaves[0], leaves[1]);
+    println!("  engine kept {} candidates across the SDR\n", f.candidates(m).len());
+
+    // Case 3 (Fig. 4, instance 1): partially shared groups -> reduced
+    // merging region satisfying the shared group's constraint.
+    println!("== share one group (instance 1, Fig. 4)");
+    let inst = Instance::new(
+        vec![
+            Sink::new(Point::new(0.0, 0.0), 1e-14),      // a: G1
+            Sink::new(Point::new(900.0, 100.0), 2e-14),  // b: G2
+            Sink::new(Point::new(4000.0, 0.0), 2e-14),   // d: G1
+            Sink::new(Point::new(4800.0, 400.0), 1e-14), // e: G3
+        ],
+        Groups::from_assignments(vec![0, 1, 0, 2], 3)?,
+        rc,
+        Point::new(2400.0, 3000.0),
+    )?;
+    let mut f = MergeForest::for_instance_with_model(&inst, model, EngineConfig::default());
+    let leaves = f.leaves();
+    let c = f.merge(leaves[0], leaves[1]); // Tc = a x b
+    let d = f.merge(leaves[2], leaves[3]); // Tf = d x e
+    let g = f.merge(c, d); // shares G1
+    let cand = &f.candidates(g)[0];
+    println!(
+        "  merged G1 spread: {:.2e} s (constraint satisfied); groups present: {}",
+        cand.delays.range(GroupId(0)).expect("G1").spread(),
+        cand.delays.group_count()
+    );
+    println!("  (after this merge the involved groups are fused, per Fig. 6 steps 6-7)\n");
+
+    // Case 4 (Fig. 5, instance 2): two shared groups with conflicting
+    // feasible regions -> wire sneaking; see `cargo run -p astdme-bench
+    // --bin fig5` for the full demonstration.
+    println!("== share multiple groups (instance 2, Fig. 5): see bench binary fig5");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Property-based end-to-end invariants: random instances, every
+//! constraint re-verified by the independent audit, bookkeeping/audit
+//! agreement.
+
+use astdme::{
+    audit, group_ranges, AstDme, ClockRouter, DelayModel, GreedyDme, Groups, Instance, Point,
+    RcParams, Sink,
+};
+use proptest::prelude::*;
+
+/// Random instance: n sinks on a 20k-µm die, k groups, random assignment.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (4usize..24, 1usize..5, any::<u64>()).prop_map(|(n, k, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 16) as f64 / (u64::MAX >> 16) as f64
+        };
+        let sinks: Vec<Sink> = (0..n)
+            .map(|_| {
+                Sink::new(
+                    Point::new(next() * 20_000.0, next() * 20_000.0),
+                    5e-15 + next() * 5e-14,
+                )
+            })
+            .collect();
+        // Ensure every group non-empty: first k sinks get groups 0..k.
+        let assignment: Vec<usize> = (0..n)
+            .map(|i| if i < k { i } else { (next() * k as f64) as usize % k })
+            .collect();
+        Instance::new(
+            sinks,
+            Groups::from_assignments(assignment, k).expect("valid"),
+            RcParams::default(),
+            Point::new(10_000.0, 10_000.0),
+        )
+        .expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ast_dme_always_meets_zero_intra_group_skew(inst in instance_strategy()) {
+        let tree = AstDme::new().route(&inst).expect("routes");
+        let report = audit(&tree, &inst, &DelayModel::elmore(*inst.rc()));
+        prop_assert_eq!(tree.sink_nodes().count(), inst.sink_count());
+        prop_assert!(
+            report.max_intra_group_skew() < 1e-16,
+            "intra skew {}", report.max_intra_group_skew()
+        );
+    }
+
+    #[test]
+    fn audited_wirelength_is_at_least_steiner_lower_bound(inst in instance_strategy()) {
+        // Any tree connecting source and sinks is at least the bounding
+        // half-perimeter of the terminals.
+        let tree = AstDme::new().route(&inst).expect("routes");
+        let report = audit(&tree, &inst, &DelayModel::elmore(*inst.rc()));
+        let bb = astdme::Rect::bounding(
+            inst.sinks().iter().map(|s| s.pos).chain([inst.source()]),
+        ).expect("non-empty");
+        prop_assert!(report.wirelength() >= bb.width().max(bb.height()) - 1e-6);
+    }
+
+    #[test]
+    fn group_delay_ranges_are_consistent_with_global_skew(inst in instance_strategy()) {
+        let tree = AstDme::new().route(&inst).expect("routes");
+        let report = audit(&tree, &inst, &DelayModel::elmore(*inst.rc()));
+        let ranges = group_ranges(&report, &inst);
+        let lo = ranges.iter().map(|&(_, l, _)| l).fold(f64::INFINITY, f64::min);
+        let hi = ranges.iter().map(|&(_, _, h)| h).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((report.global_skew() - (hi - lo)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_skew_router_is_a_valid_ast_solution(inst in instance_strategy()) {
+        // Greedy-DME's zero-skew tree trivially satisfies any associative
+        // constraint set on the same sinks.
+        let tree = GreedyDme::new().route(&inst).expect("routes");
+        let report = audit(&tree, &inst, &DelayModel::elmore(*inst.rc()));
+        prop_assert!(report.max_intra_group_skew() < 1e-16);
+    }
+
+    #[test]
+    fn snaking_is_never_negative_and_bounded_by_wirelength(inst in instance_strategy()) {
+        let tree = AstDme::new().route(&inst).expect("routes");
+        prop_assert!(tree.total_snaking() >= 0.0);
+        prop_assert!(tree.total_snaking() <= tree.total_wirelength() + 1e-9);
+    }
+}
