@@ -16,14 +16,10 @@ fn bench_tables(c: &mut Criterion) {
     let placement = r_benchmark(RBench::R1, 2006);
     let single = partition::single(&placement).expect("valid");
     let clustered = partition::clustered(&placement, 6, 0)
-        .and_then(|i| {
-            i.with_groups(i.groups().clone().with_uniform_bound(PAPER_BOUND)?)
-        })
+        .and_then(|i| i.with_groups(i.groups().clone().with_uniform_bound(PAPER_BOUND)?))
         .expect("valid");
     let intermingled = partition::intermingled(&placement, 6, 2012)
-        .and_then(|i| {
-            i.with_groups(i.groups().clone().with_uniform_bound(PAPER_BOUND)?)
-        })
+        .and_then(|i| i.with_groups(i.groups().clone().with_uniform_bound(PAPER_BOUND)?))
         .expect("valid");
 
     let mut g = c.benchmark_group("tables_r1");

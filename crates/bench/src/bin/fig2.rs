@@ -4,8 +4,7 @@
 //! recovers it — "the wirelength can be reduced up to 1/3".
 
 use astdme_core::{
-    audit, AstDme, ClockRouter, DelayModel, Groups, Instance, Point, RcParams, Sink,
-    StitchPerGroup,
+    audit, AstDme, ClockRouter, DelayModel, Groups, Instance, Point, RcParams, Sink, StitchPerGroup,
 };
 
 fn main() {
@@ -26,7 +25,9 @@ fn main() {
     .expect("valid instance");
     let model = DelayModel::elmore(*inst.rc());
 
-    let stitched = StitchPerGroup::new().route(&inst).expect("stitching routes");
+    let stitched = StitchPerGroup::new()
+        .route(&inst)
+        .expect("stitching routes");
     let rs = audit(&stitched, &inst, &model);
     let ast = AstDme::new().route(&inst).expect("AST-DME routes");
     let ra = audit(&ast, &inst, &model);

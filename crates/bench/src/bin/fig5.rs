@@ -9,8 +9,7 @@
 //! balanced.
 
 use astdme_core::{
-    audit, DelayModel, EngineConfig, GroupId, Groups, Instance, MergeForest, Point, RcParams,
-    Sink,
+    audit, DelayModel, EngineConfig, GroupId, Groups, Instance, MergeForest, Point, RcParams, Sink,
 };
 
 fn main() {

@@ -1,0 +1,196 @@
+//! Scaling bench: incremental vs from-scratch merge planning.
+//!
+//! Routes synthetic intermingled instances at n ∈ {250, 1000, 4000, 16000}
+//! with both drivers (`run_bottom_up` on the incremental `MergePlanner`,
+//! `run_bottom_up_from_scratch` on the reference planner) under both merge
+//! orders, and emits `BENCH_scaling.json` at the repo root so later PRs
+//! have a perf trajectory to regress against.
+//!
+//! Usage: `scaling [--quick] [--out PATH] [--sizes a,b,c]`
+//!
+//! * `--quick` — n = 250 only (the CI smoke run);
+//! * `--out`   — output path (default `BENCH_scaling.json`);
+//! * `--sizes` — comma-separated instance sizes overriding the default.
+
+use std::time::Instant;
+
+use astdme_bench::{json, PAPER_BOUND};
+use astdme_core::{
+    run_bottom_up, run_bottom_up_from_scratch, DelayModel, EngineConfig, Instance, TopoConfig,
+};
+use astdme_instances::{partition, synthetic_instance};
+
+/// Default sink counts, straddling the paper's r1–r5 range (267–3101) up
+/// to ~5x beyond it.
+const DEFAULT_SIZES: [usize; 4] = [250, 1000, 4000, 16000];
+
+/// Group count for the synthetic instances (intermingled, as in Table II).
+const GROUPS: usize = 4;
+
+const SEED: u64 = 2006;
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    n: usize,
+    planner: &'static str,
+    order: &'static str,
+    seconds: f64,
+    merges_per_sec: f64,
+    wirelength_um: f64,
+}
+
+fn instance(n: usize) -> Instance {
+    let p = synthetic_instance(n, SEED, &format!("s{n}"));
+    let inst = partition::intermingled(&p, GROUPS, SEED ^ 0xBEEF).expect("valid partition");
+    inst.with_groups(
+        inst.groups()
+            .clone()
+            .with_uniform_bound(PAPER_BOUND)
+            .expect("bound ok"),
+    )
+    .expect("regroup ok")
+}
+
+fn route(inst: &Instance, topo: &TopoConfig, from_scratch: bool) -> (f64, f64) {
+    let model = DelayModel::elmore(*inst.rc());
+    // The budget preset: the engine's per-merge work is identical for both
+    // planners, so the cheaper it is, the more honestly the measurement
+    // isolates planning cost — which is what this bench tracks.
+    let engine = EngineConfig::fast();
+    let t0 = Instant::now();
+    let (forest, root) = if from_scratch {
+        run_bottom_up_from_scratch(inst, model, engine, topo)
+    } else {
+        run_bottom_up(inst, model, engine, topo)
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    let tree = forest.embed(root, inst.source());
+    (secs, tree.total_wirelength())
+}
+
+fn measure(n: usize) -> Vec<Measurement> {
+    let inst = instance(n);
+    let mut out = Vec::new();
+    for (order_name, topo) in [
+        ("greedy", TopoConfig::greedy()),
+        ("multi_merge", TopoConfig::default()),
+    ] {
+        for (planner, from_scratch) in [("incremental", false), ("from_scratch", true)] {
+            let (secs, wl) = route(&inst, &topo, from_scratch);
+            eprintln!(
+                "n={n:>6} {order_name:<12} {planner:<13} {secs:>9.3}s  {:>12.0} merges/s  wl {wl:.0}",
+                (n - 1) as f64 / secs
+            );
+            out.push(Measurement {
+                n,
+                planner,
+                order: order_name,
+                seconds: secs,
+                merges_per_sec: (n - 1) as f64 / secs,
+                wirelength_um: wl,
+            });
+        }
+        // The planners must route the same tree: wirelength is the
+        // end-to-end witness.
+        let wls: Vec<f64> = out
+            .iter()
+            .filter(|m| m.n == n && m.order == order_name)
+            .map(|m| m.wirelength_um)
+            .collect();
+        assert!(
+            (wls[0] - wls[1]).abs() <= 1e-6 * wls[0].max(1.0),
+            "planners diverged at n={n} {order_name}: {} vs {}",
+            wls[0],
+            wls[1]
+        );
+    }
+    out
+}
+
+fn to_json(measurements: &[Measurement]) -> String {
+    let items: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            json::object(
+                &[
+                    json::field("n", format!("{}", m.n)),
+                    json::field("planner", json::quote(m.planner)),
+                    json::field("order", json::quote(m.order)),
+                    json::field("seconds", json::number(m.seconds)),
+                    json::field("merges_per_sec", json::number(m.merges_per_sec)),
+                    json::field("wirelength_um", json::number(m.wirelength_um)),
+                ],
+                4,
+            )
+        })
+        .collect();
+    // Summary: per (n, order) speedup of incremental over from-scratch.
+    let mut summaries = Vec::new();
+    let mut sizes: Vec<usize> = measurements.iter().map(|m| m.n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for &n in &sizes {
+        for order in ["greedy", "multi_merge"] {
+            let find = |planner: &str| {
+                measurements
+                    .iter()
+                    .find(|m| m.n == n && m.order == order && m.planner == planner)
+                    .map(|m| m.seconds)
+            };
+            if let (Some(inc), Some(scratch)) = (find("incremental"), find("from_scratch")) {
+                summaries.push(json::object(
+                    &[
+                        json::field("n", format!("{n}")),
+                        json::field("order", json::quote(order)),
+                        json::field("speedup", json::number(scratch / inc)),
+                    ],
+                    4,
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {}\n}}\n",
+        json::array(&items, 2),
+        json::array(&summaries, 2)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scaling.json".to_string());
+    let sizes: Vec<usize> = match args.iter().position(|a| a == "--sizes") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--sizes needs a comma-separated list")
+            .split(',')
+            .map(|s| s.trim().parse().expect("size must be an integer"))
+            .collect(),
+        None if quick => vec![250],
+        None => DEFAULT_SIZES.to_vec(),
+    };
+
+    let mut measurements = Vec::new();
+    for &n in &sizes {
+        measurements.extend(measure(n));
+    }
+    let doc = to_json(&measurements);
+    std::fs::write(&out_path, &doc).expect("write BENCH_scaling.json");
+    eprintln!("wrote {out_path}");
+
+    // Human-readable summary on stdout.
+    println!("| n | order | planner | seconds | merges/s | wirelength (um) |");
+    println!("|---|-------|---------|---------|----------|-----------------|");
+    for m in &measurements {
+        println!(
+            "| {} | {} | {} | {:.3} | {:.0} | {:.0} |",
+            m.n, m.order, m.planner, m.seconds, m.merges_per_sec, m.wirelength_um
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal JSON writing helpers for the harness outputs.
+//!
+//! The workspace vendors no serde; the bench outputs are flat
+//! records, so a tiny escaping writer keeps the harness dependency-free.
+
+/// Escapes a string for embedding in a JSON document (with quotes).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite values only; non-finite
+/// values are clamped to `null`).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One `"key": value` field; `value` must already be valid JSON.
+pub fn field(key: &str, value: impl AsRef<str>) -> String {
+    format!("{}: {}", quote(key), value.as_ref())
+}
+
+/// A pretty-printed JSON object from pre-rendered fields, indented by
+/// `indent` spaces.
+pub fn object(fields: &[String], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let inner = " ".repeat(indent + 2);
+    let body = fields
+        .iter()
+        .map(|f| format!("{inner}{f}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{pad}{{\n{body}\n{pad}}}")
+}
+
+/// A pretty-printed JSON array from pre-rendered items.
+pub fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent);
+    format!("[\n{}\n{pad}]", items.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(number(0.05), "0.05");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays_nest() {
+        let o = object(&[field("a", number(1.0)), field("b", quote("x"))], 2);
+        let a = array(&[o], 0);
+        assert!(a.contains("\"a\": 1"));
+        assert!(a.starts_with("[\n"));
+        assert!(a.ends_with("\n]"));
+    }
+}

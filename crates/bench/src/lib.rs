@@ -1,12 +1,25 @@
-//! Benchmark harness regenerating every table and figure of Kim (2006).
+//! Benchmark harness regenerating every table and figure of Kim (2006),
+//! plus the workspace's performance tracker.
 //!
 //! The binaries (`table1`, `table2`, `fig1`, `fig2`, `fig5`, `ablation`)
 //! print the corresponding experiment as a markdown table; the Criterion
 //! benches (`tables`, `figures`, `ablation`) measure the runtimes. This
 //! library holds the shared experiment runner.
+//!
+//! The **`scaling`** binary is the perf trajectory: it routes synthetic
+//! intermingled instances at n ∈ {250, 1000, 4000, 16000} under both the
+//! incremental `MergePlanner` driver and the from-scratch reference
+//! driver (greedy and multi-merge orders), asserts both produce identical
+//! wirelength, and writes `BENCH_scaling.json` (wall-clock, merges/sec,
+//! wirelength, per-size speedups) at the repo root. CI smoke-runs it at
+//! n = 250 (`--quick`); regenerate the full file with
+//! `cargo run --release -p astdme_bench --bin scaling` after touching the
+//! merge loop, and compare against the committed numbers before merging.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 use std::time::Instant;
 
@@ -161,22 +174,25 @@ pub fn to_markdown(rows: &[Row]) -> String {
 
 /// Serializes rows as a JSON array for machine consumption.
 pub fn to_json(rows: &[Row]) -> String {
-    let items: Vec<serde_json::Value> = rows
+    let items: Vec<String> = rows
         .iter()
         .map(|r| {
-            serde_json::json!({
-                "circuit": r.circuit,
-                "sinks": r.sinks,
-                "groups": r.groups,
-                "algorithm": r.algorithm,
-                "wirelength_um": r.wirelength,
-                "reduction": r.reduction,
-                "max_skew_ps": r.max_skew_ps,
-                "cpu_s": r.cpu_s,
-            })
+            json::object(
+                &[
+                    json::field("circuit", json::quote(&r.circuit)),
+                    json::field("sinks", format!("{}", r.sinks)),
+                    json::field("groups", format!("{}", r.groups)),
+                    json::field("algorithm", json::quote(&r.algorithm)),
+                    json::field("wirelength_um", json::number(r.wirelength)),
+                    json::field("reduction", json::number(r.reduction)),
+                    json::field("max_skew_ps", json::number(r.max_skew_ps)),
+                    json::field("cpu_s", json::number(r.cpu_s)),
+                ],
+                2,
+            )
         })
         .collect();
-    serde_json::to_string_pretty(&items).expect("rows serialize")
+    json::array(&items, 0)
 }
 
 /// Circuits to run given a `--quick` flag: r1–r3 quick, all five otherwise.

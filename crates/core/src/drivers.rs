@@ -1,9 +1,11 @@
 //! The bottom-up driving loop shared by all routers.
 
+use std::collections::HashMap;
+
 use astdme_delay::DelayModel;
 use astdme_engine::{EngineConfig, Instance, MergeForest, NodeId};
 use astdme_geom::Trr;
-use astdme_topo::{plan_round, MergeSpace, TopoConfig};
+use astdme_topo::{plan_round, MergePlanner, MergeSpace, TopoConfig};
 
 /// Adapter exposing a [`MergeForest`] to the merge planner.
 ///
@@ -42,34 +44,73 @@ impl MergeSpace for ForestSpace<'_> {
 }
 
 /// Runs the bottom-up merge loop over `start` until a single subtree
-/// remains, merging pairs chosen by the planner each round.
+/// remains, merging pairs chosen by the incremental
+/// [`MergePlanner`] each round.
 ///
 /// Returns the surviving root. `start` must be non-empty; a single node is
 /// returned unchanged.
-pub fn merge_until_one(
+pub fn merge_until_one(forest: &mut MergeForest, start: Vec<NodeId>, topo: &TopoConfig) -> NodeId {
+    assert!(!start.is_empty(), "need at least one subtree to merge");
+    if start.len() == 1 {
+        return start[0];
+    }
+    let keys: Vec<usize> = start.iter().map(|n| n.index()).collect();
+    let mut planner = MergePlanner::new(&ForestSpace::new(forest), &keys, *topo);
+    while planner.len() > 1 {
+        let pairs = planner.plan_round(&ForestSpace::new(forest));
+        assert!(!pairs.is_empty(), "planner must make progress");
+        for (a, b) in pairs {
+            let m = forest.merge(NodeId::from_index(a), NodeId::from_index(b));
+            planner.apply_merge(&ForestSpace::new(forest), a, b, m.index());
+        }
+    }
+    NodeId::from_index(planner.sole_key())
+}
+
+/// The from-scratch reference driver: re-plans every round with
+/// [`plan_round`] over a freshly rebuilt neighbor structure. Produces the
+/// same tree as [`merge_until_one`] (the planners are equivalent; see
+/// `astdme_topo::MergePlanner`), at the cost the incremental planner
+/// exists to avoid. Kept for equivalence tests and the `scaling` bench's
+/// before/after comparison.
+pub fn merge_until_one_from_scratch(
     forest: &mut MergeForest,
     start: Vec<NodeId>,
     topo: &TopoConfig,
 ) -> NodeId {
     assert!(!start.is_empty(), "need at least one subtree to merge");
     let mut active: Vec<usize> = start.iter().map(|n| n.index()).collect();
+    // Dense active set with a position map: removal is swap_remove, and
+    // crucially the *same* swap_remove discipline the incremental planner
+    // uses, so both drivers present identical orderings to the planner
+    // (which matters only for exact ties).
+    let mut pos: HashMap<usize, usize> = active.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    assert_eq!(pos.len(), active.len(), "start subtrees must be distinct");
     while active.len() > 1 {
         let pairs = {
             let space = ForestSpace::new(forest);
             plan_round(&space, &active, topo)
         };
-        debug_assert!(!pairs.is_empty(), "planner must make progress");
+        assert!(!pairs.is_empty(), "planner must make progress");
         for (a, b) in pairs {
             let m = forest.merge(NodeId::from_index(a), NodeId::from_index(b));
-            active.retain(|&x| x != a && x != b);
+            for x in [a, b] {
+                let i = pos.remove(&x).expect("planned pair is active");
+                active.swap_remove(i);
+                if i < active.len() {
+                    pos.insert(active[i], i);
+                }
+            }
+            pos.insert(m.index(), active.len());
             active.push(m.index());
         }
     }
     NodeId::from_index(active[0])
 }
 
-/// Builds the forest for `inst` under `model`, merges everything bottom-up,
-/// and returns the forest plus the root subtree.
+/// Builds the forest for `inst` under `model`, merges everything bottom-up
+/// with the incremental planner, and returns the forest plus the root
+/// subtree.
 pub fn run_bottom_up(
     inst: &Instance,
     model: DelayModel,
@@ -79,6 +120,20 @@ pub fn run_bottom_up(
     let mut forest = MergeForest::for_instance_with_model(inst, model, engine);
     let leaves = forest.leaves();
     let root = merge_until_one(&mut forest, leaves, topo);
+    (forest, root)
+}
+
+/// Like [`run_bottom_up`] but driven by the from-scratch reference
+/// planner. Used by equivalence tests and the `scaling` bench.
+pub fn run_bottom_up_from_scratch(
+    inst: &Instance,
+    model: DelayModel,
+    engine: EngineConfig,
+    topo: &TopoConfig,
+) -> (MergeForest, NodeId) {
+    let mut forest = MergeForest::for_instance_with_model(inst, model, engine);
+    let leaves = forest.leaves();
+    let root = merge_until_one_from_scratch(&mut forest, leaves, topo);
     (forest, root)
 }
 
@@ -139,5 +194,34 @@ mod tests {
         let only = vec![leaves[0]];
         let r = merge_until_one(&mut forest, only, &TopoConfig::default());
         assert_eq!(r, leaves[0]);
+    }
+
+    #[test]
+    fn incremental_and_from_scratch_drivers_route_identically() {
+        // Large enough (> BRUTE_FORCE_CUTOFF leaves) to exercise the
+        // incremental grid regime, multiple groups for SDR merges.
+        let inst = line_instance(48, 3);
+        for topo in [TopoConfig::greedy(), TopoConfig::default()] {
+            let (forest_inc, root_inc) = run_bottom_up(
+                &inst,
+                DelayModel::elmore(*inst.rc()),
+                EngineConfig::default(),
+                &topo,
+            );
+            let (forest_ref, root_ref) = run_bottom_up_from_scratch(
+                &inst,
+                DelayModel::elmore(*inst.rc()),
+                EngineConfig::default(),
+                &topo,
+            );
+            let tree_inc = forest_inc.embed(root_inc, inst.source());
+            let tree_ref = forest_ref.embed(root_ref, inst.source());
+            assert_eq!(
+                tree_inc.total_wirelength(),
+                tree_ref.total_wirelength(),
+                "drivers diverged under {topo:?}"
+            );
+            assert_eq!(tree_inc.nodes().len(), tree_ref.nodes().len());
+        }
     }
 }

@@ -49,15 +49,19 @@ mod drivers;
 mod error;
 mod routers;
 
-pub use drivers::{run_bottom_up, ForestSpace};
+pub use drivers::{
+    merge_until_one, merge_until_one_from_scratch, run_bottom_up, run_bottom_up_from_scratch,
+    ForestSpace,
+};
 pub use error::RouteError;
 pub use routers::{AstDme, ClockRouter, ExtBst, GreedyDme, StitchPerGroup};
 
 // The full modelling vocabulary, so downstream users need only this crate.
 pub use astdme_delay::{DelayModel, RcParams};
 pub use astdme_engine::{
-    audit, group_ranges, repair_group_skew, AuditReport, CandKind, Candidate, DelayMap, DelayRange, EngineConfig, GroupId, Groups,
-    Instance, InstanceError, MergeForest, NodeId, RoutedNode, RoutedTree, Sink,
+    audit, group_ranges, repair_group_skew, AuditReport, CandKind, Candidate, DelayMap, DelayRange,
+    EngineConfig, GroupId, Groups, Instance, InstanceError, MergeForest, NodeId, RoutedNode,
+    RoutedTree, Sink,
 };
 pub use astdme_geom::{Point, Rect, Trr};
-pub use astdme_topo::{MergeOrder, TopoConfig};
+pub use astdme_topo::{plan_round, MergeOrder, MergePlanner, MergeSpace, TopoConfig};

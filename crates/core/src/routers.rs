@@ -174,7 +174,7 @@ impl ExtBst {
 
 impl ClockRouter for ExtBst {
     fn route(&self, inst: &Instance) -> Result<RoutedTree, RouteError> {
-        if !(self.bound >= 0.0) {
+        if self.bound.is_nan() || self.bound < 0.0 {
             return Err(RouteError::BadParameter(format!(
                 "global skew bound must be non-negative, got {}",
                 self.bound
@@ -184,7 +184,13 @@ impl ClockRouter for ExtBst {
         let relaxed = inst.with_groups(single)?;
         let model = self.model.unwrap_or(DelayModel::elmore(*inst.rc()));
         let (forest, root) = run_bottom_up(&relaxed, model, self.engine, &self.topo);
-        Ok(finish(&forest, root, &relaxed, &model, self.engine.skew_tol))
+        Ok(finish(
+            &forest,
+            root,
+            &relaxed,
+            &model,
+            self.engine.skew_tol,
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -420,7 +426,10 @@ mod tests {
         // Fig. 2 of the paper: separate per-group trees overlap.
         let inst = interleaved(12);
         let ast = AstDme::new().route(&inst).unwrap().total_wirelength();
-        let stitch = StitchPerGroup::new().route(&inst).unwrap().total_wirelength();
+        let stitch = StitchPerGroup::new()
+            .route(&inst)
+            .unwrap()
+            .total_wirelength();
         assert!(
             ast < stitch,
             "AST ({ast}) should beat stitching ({stitch}) on intermingled groups"

@@ -165,7 +165,11 @@ pub fn feasible_splits(
     let delta_at = |x: f64| da.eval(x) - db.eval(x);
     let (dmin, dmax) = (delta_at(0.0), delta_at(total));
     // Tolerance in delay units, scaled to the values at play.
-    let dtol = 1e-12 * (dmax - dmin).abs().max(window.lo().abs() + window.hi().abs()) + 1e-30;
+    let dtol = 1e-12
+        * (dmax - dmin)
+            .abs()
+            .max(window.lo().abs() + window.hi().abs())
+        + 1e-30;
     if window.hi() < dmin - dtol || window.lo() > dmax + dtol {
         return IntervalSet::empty();
     }
@@ -286,11 +290,7 @@ mod tests {
             let hi = (delta + c.hi_a).max(c.hi_b);
             let lo = (delta + c.lo_a).min(c.lo_b);
             let ok = hi - lo <= c.bound + 1e-30;
-            assert_eq!(
-                ok,
-                w.contains(delta, 1e-30),
-                "mismatch at delta = {delta}"
-            );
+            assert_eq!(ok, w.contains(delta, 1e-30), "mismatch at delta = {delta}");
         }
     }
 
@@ -317,7 +317,14 @@ mod tests {
     fn zero_skew_feasible_split_matches_balance() {
         // Imbalance small enough to absorb inside an 800 um merge wire.
         let (ta, ca, tb, cb, dist) = (1e-14, 2e-14, 3e-14, 1e-14, 800.0);
-        let s = feasible_splits(&m(), ca, cb, dist, &[SharedConstraint::zero_skew(ta, tb)], 1e-22);
+        let s = feasible_splits(
+            &m(),
+            ca,
+            cb,
+            dist,
+            &[SharedConstraint::zero_skew(ta, tb)],
+            1e-22,
+        );
         assert!(!s.is_empty());
         let x = s.min().unwrap();
         assert!(s.measure() < 1e-6, "zero-skew split must be a point");
@@ -334,7 +341,14 @@ mod tests {
             hi_b: 0.0,
             bound: 1e-11,
         };
-        let s0 = feasible_splits(&m(), 1e-14, 1e-14, 1000.0, &[SharedConstraint::zero_skew(0.0, 0.0)], 1e-22);
+        let s0 = feasible_splits(
+            &m(),
+            1e-14,
+            1e-14,
+            1000.0,
+            &[SharedConstraint::zero_skew(0.0, 0.0)],
+            1e-22,
+        );
         let s = feasible_splits(&m(), 1e-14, 1e-14, 1000.0, &[cons], 1e-22);
         assert!(s.measure() > s0.measure());
         // And all sampled splits really satisfy the bound.
@@ -392,7 +406,14 @@ mod tests {
     fn feasible_splits_pathlength_model() {
         let m = DelayModel::pathlength();
         // ea - (T - ea) = tb - ta = 4 -> ea = (T + 4) / 2 = 7.
-        let s = feasible_splits(&m, 0.0, 0.0, 10.0, &[SharedConstraint::zero_skew(0.0, 4.0)], 1e-22);
+        let s = feasible_splits(
+            &m,
+            0.0,
+            0.0,
+            10.0,
+            &[SharedConstraint::zero_skew(0.0, 4.0)],
+            1e-22,
+        );
         let x = s.nearest(0.0).unwrap();
         assert!((x - 7.0).abs() < 1e-9);
     }

@@ -121,15 +121,12 @@ impl IntervalSet {
 
     /// The element of the set nearest to `x`, if non-empty.
     pub fn nearest(&self, x: f64) -> Option<f64> {
-        self.parts
-            .iter()
-            .map(|iv| iv.clamp(x))
-            .min_by(|a, b| {
-                (a - x)
-                    .abs()
-                    .partial_cmp(&(b - x).abs())
-                    .expect("no NaN clamp results")
-            })
+        self.parts.iter().map(|iv| iv.clamp(x)).min_by(|a, b| {
+            (a - x)
+                .abs()
+                .partial_cmp(&(b - x).abs())
+                .expect("no NaN clamp results")
+        })
     }
 
     /// Up to `k` representative points spread across the set: each
@@ -194,7 +191,10 @@ mod tests {
     #[test]
     fn from_intervals_coalesces() {
         let s = IntervalSet::from_intervals(vec![iv(3.0, 4.0), iv(0.0, 1.0), iv(0.5, 2.0)]);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![iv(0.0, 2.0), iv(3.0, 4.0)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![iv(0.0, 2.0), iv(3.0, 4.0)]
+        );
     }
 
     #[test]
@@ -228,7 +228,10 @@ mod tests {
         let a = IntervalSet::single(iv(0.0, 1.0));
         let b = IntervalSet::from_intervals(vec![iv(0.5, 2.0), iv(5.0, 6.0)]);
         let u = a.union(&b);
-        assert_eq!(u.iter().collect::<Vec<_>>(), vec![iv(0.0, 2.0), iv(5.0, 6.0)]);
+        assert_eq!(
+            u.iter().collect::<Vec<_>>(),
+            vec![iv(0.0, 2.0), iv(5.0, 6.0)]
+        );
     }
 
     #[test]

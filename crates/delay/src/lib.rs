@@ -40,7 +40,9 @@ mod model;
 mod params;
 mod quad;
 
-pub use feasible::{feasible_splits, intersect_delta_windows, min_total_for_feasibility, SharedConstraint};
+pub use feasible::{
+    feasible_splits, intersect_delta_windows, min_total_for_feasibility, SharedConstraint,
+};
 pub use intervalset::IntervalSet;
 pub use model::{DelayModel, Split};
 pub use params::RcParams;

@@ -52,7 +52,6 @@ impl fmt::Display for Split {
 ///   paper), kept to reproduce the paper's argument that it cannot control
 ///   Elmore skew.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DelayModel {
     /// Elmore delay over π-modelled RC wire.
     Elmore(RcParams),

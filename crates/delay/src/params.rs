@@ -16,7 +16,6 @@ use core::fmt;
 /// assert_eq!(p.c_per_um(), 0.02e-15);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RcParams {
     r_per_um: f64,
     c_per_um: f64,

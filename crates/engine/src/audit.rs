@@ -128,7 +128,10 @@ pub fn audit(tree: &RoutedTree, inst: &Instance, model: &DelayModel) -> AuditRep
         hi[g] = hi[g].max(d);
     }
     let group_spreads: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| h - l).collect();
-    let all_lo = sink_delays.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
+    let all_lo = sink_delays
+        .iter()
+        .map(|&(_, d)| d)
+        .fold(f64::INFINITY, f64::min);
     let all_hi = sink_delays
         .iter()
         .map(|&(_, d)| d)
@@ -172,9 +175,7 @@ pub fn group_ranges(report: &AuditReport, inst: &Instance) -> Vec<(GroupId, f64,
         lo[g] = lo[g].min(d);
         hi[g] = hi[g].max(d);
     }
-    (0..k)
-        .map(|g| (GroupId(g as u32), lo[g], hi[g]))
-        .collect()
+    (0..k).map(|g| (GroupId(g as u32), lo[g], hi[g])).collect()
 }
 
 #[cfg(test)]

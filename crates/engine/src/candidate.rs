@@ -6,7 +6,6 @@ use crate::DelayMap;
 
 /// How a candidate came to be — the provenance used by top-down embedding.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CandKind {
     /// A leaf: the subtree is the single sink with this index.
     Leaf(usize),
@@ -31,7 +30,6 @@ pub enum CandKind {
 /// embedding. A subtree keeps a small set of candidates (different wire
 /// splits of its last merge); the parent merge chooses among them.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Candidate {
     /// Feasible root positions (all equivalent for delay purposes).
     pub region: Trr,

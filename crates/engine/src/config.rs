@@ -1,5 +1,16 @@
 //! Engine tuning knobs.
 
+use std::sync::OnceLock;
+
+/// Cached result of the `ASTDME_DEBUG` environment lookup: the hot merge
+/// path must not call `env::var_os` per merge, so the environment is read
+/// once per process and latched into every [`EngineConfig`] at
+/// construction.
+fn debug_from_env() -> bool {
+    static DEBUG: OnceLock<bool> = OnceLock::new();
+    *DEBUG.get_or_init(|| std::env::var_os("ASTDME_DEBUG").is_some())
+}
+
 /// Configuration of the merge engine.
 ///
 /// The defaults reproduce the paper's setup; the knobs exist for the
@@ -25,6 +36,11 @@ pub struct EngineConfig {
     /// general per-subtree offset-adjustment machinery instead (more
     /// faithful to reading instance 2 literally, usually more wire).
     pub fuse_groups: bool,
+    /// Emit diagnostics for anomalous merges (oversized snakes, offset
+    /// conflicts) to stderr. Defaults to whether `ASTDME_DEBUG` was set in
+    /// the environment when the first config was built; the lookup happens
+    /// once per process, never in the merge loop.
+    pub debug: bool,
 }
 
 impl EngineConfig {
@@ -37,6 +53,7 @@ impl EngineConfig {
             pair_limit: 2,
             skew_tol: 1e-18,
             fuse_groups: true,
+            debug: debug_from_env(),
         }
     }
 
@@ -48,6 +65,7 @@ impl EngineConfig {
             pair_limit: 4,
             skew_tol: 1e-18,
             fuse_groups: true,
+            debug: debug_from_env(),
         }
     }
 }
@@ -60,6 +78,7 @@ impl Default for EngineConfig {
             pair_limit: 3,
             skew_tol: 1e-18,
             fuse_groups: true,
+            debug: debug_from_env(),
         }
     }
 }
@@ -77,5 +96,19 @@ mod tests {
         assert!(d.split_samples <= t.split_samples);
         assert!(f.max_candidates <= d.max_candidates);
         assert!(d.max_candidates <= t.max_candidates);
+    }
+
+    #[test]
+    fn debug_flag_is_a_plain_field() {
+        let quiet = EngineConfig {
+            debug: false,
+            ..EngineConfig::default()
+        };
+        let loud = EngineConfig {
+            debug: true,
+            ..quiet
+        };
+        assert!(!quiet.debug);
+        assert!(loud.debug);
     }
 }

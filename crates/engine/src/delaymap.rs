@@ -11,7 +11,6 @@ use crate::GroupId;
 /// wire delays both equally), which is why bounds are enforced at merge
 /// time and never re-checked above.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DelayRange {
     /// Fastest sink of the group in this subtree (seconds from the root).
     pub lo: f64,
@@ -77,7 +76,6 @@ impl fmt::Display for DelayRange {
 /// assert_eq!(m.range(GroupId(1)).unwrap().hi, 2e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DelayMap {
     // Sorted by GroupId; typically 1-4 entries, so a Vec beats any map.
     entries: Vec<(GroupId, DelayRange)>,
@@ -132,11 +130,7 @@ impl DelayMap {
     /// wire from a new merge point down to this subtree's root).
     pub fn shifted(&self, d: f64) -> Self {
         Self {
-            entries: self
-                .entries
-                .iter()
-                .map(|(g, r)| (*g, r.shift(d)))
-                .collect(),
+            entries: self.entries.iter().map(|(g, r)| (*g, r.shift(d))).collect(),
         }
     }
 
@@ -205,7 +199,11 @@ impl DelayMap {
 
     /// Extremes over all groups: `(min lo, max hi)`, or `None` if empty.
     pub fn overall_range(&self) -> Option<DelayRange> {
-        let lo = self.entries.iter().map(|(_, r)| r.lo).fold(f64::INFINITY, f64::min);
+        let lo = self
+            .entries
+            .iter()
+            .map(|(_, r)| r.lo)
+            .fold(f64::INFINITY, f64::min);
         let hi = self
             .entries
             .iter()
@@ -275,7 +273,10 @@ mod tests {
             (g(5), DelayRange::point(0.0)),
         ]);
         assert_eq!(a.shared_groups(&b), vec![g(2), g(5)]);
-        assert_eq!(DelayMap::leaf(g(0)).shared_groups(&DelayMap::leaf(g(1))), vec![]);
+        assert_eq!(
+            DelayMap::leaf(g(0)).shared_groups(&DelayMap::leaf(g(1))),
+            vec![]
+        );
     }
 
     #[test]

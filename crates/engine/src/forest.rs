@@ -50,6 +50,55 @@ struct Node {
     cands: Vec<Candidate>,
     children: Option<(NodeId, NodeId)>,
     sink: Option<usize>,
+    /// Hull of all candidate regions, maintained incrementally: candidates
+    /// are only ever *added* to an existing node (offset adjustment), and
+    /// hulls are monotone under insertion, so this never needs a rescan.
+    hull: Trr,
+    /// Largest root-to-sink delay over all candidates, maintained the same
+    /// way. Both fields exist so the planner's per-round queries are O(1)
+    /// instead of O(candidates).
+    max_delay: f64,
+}
+
+impl Node {
+    fn new(cands: Vec<Candidate>, children: Option<(NodeId, NodeId)>, sink: Option<usize>) -> Self {
+        debug_assert!(!cands.is_empty(), "nodes always carry a candidate");
+        let mut hull = cands[0].region;
+        for c in &cands[1..] {
+            hull = hull.hull(&c.region);
+        }
+        let max_delay = cands.iter().map(cand_max_delay).fold(0.0, f64::max);
+        Self {
+            cands,
+            children,
+            sink,
+            hull,
+            max_delay,
+        }
+    }
+
+    /// Registers one more candidate, keeping the cached hull/delay exact.
+    fn push_candidate(&mut self, cand: Candidate) {
+        self.hull = self.hull.hull(&cand.region);
+        self.max_delay = self.max_delay.max(cand_max_delay(&cand));
+        self.cands.push(cand);
+    }
+}
+
+fn cand_max_delay(c: &Candidate) -> f64 {
+    c.delays.overall_range().map_or(0.0, |r| r.hi)
+}
+
+/// Reusable buffers for the hot constraint-assembly path
+/// ([`MergeForest::pair_cost_estimate_in`]): per-call `Vec` allocations in
+/// the inner loop of `merge` showed up as a constant-factor tax, so the
+/// forest carries one scratch set and the parallel path creates one per
+/// worker.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    ea: Vec<(u32, f64, f64, f64)>,
+    eb: Vec<(u32, f64, f64, f64)>,
+    cons: Vec<SharedConstraint>,
 }
 
 /// Bottom-up merge state for one routing run.
@@ -72,6 +121,7 @@ pub struct MergeForest {
     // reference (adjusted delay = real delay - phi).
     class_parent: Vec<u32>,
     phi: Vec<f64>,
+    scratch: Scratch,
 }
 
 impl MergeForest {
@@ -88,6 +138,7 @@ impl MergeForest {
             residual: 0.0,
             class_parent: (0..k as u32).collect(),
             phi: vec![0.0; k],
+            scratch: Scratch::default(),
         }
     }
 
@@ -99,11 +150,7 @@ impl MergeForest {
 
     /// Like [`MergeForest::for_instance`] but with an explicit delay model
     /// (e.g. [`DelayModel::Pathlength`] for the ablation of Ch. III).
-    pub fn for_instance_with_model(
-        inst: &Instance,
-        model: DelayModel,
-        cfg: EngineConfig,
-    ) -> Self {
+    pub fn for_instance_with_model(inst: &Instance, model: DelayModel, cfg: EngineConfig) -> Self {
         let mut f = Self::new(model, inst.groups().bounds().to_vec(), cfg);
         for (i, s) in inst.sinks().iter().enumerate() {
             f.add_leaf(i, s.pos, s.cap, inst.group_of(i));
@@ -118,17 +165,17 @@ impl MergeForest {
             "group {group} has no declared bound"
         );
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node {
-            cands: vec![Candidate {
+        self.nodes.push(Node::new(
+            vec![Candidate {
                 region: Trr::from_point(pos),
                 delays: DelayMap::leaf(group),
                 cap,
                 wirelen: 0.0,
                 kind: CandKind::Leaf(sink_idx),
             }],
-            children: None,
-            sink: Some(sink_idx),
-        });
+            None,
+            Some(sink_idx),
+        ));
         self.leaves += 1;
         id
     }
@@ -154,14 +201,11 @@ impl MergeForest {
     }
 
     /// A representative region for neighbor queries: the hull of the node's
-    /// candidate regions (TRRs are closed under hull).
+    /// candidate regions (TRRs are closed under hull). O(1): the hull is
+    /// maintained as candidates are created, never recomputed — the
+    /// incremental planner queries this every round.
     pub fn representative_region(&self, id: NodeId) -> Trr {
-        let cands = &self.nodes[id.0].cands;
-        let mut hull = cands[0].region;
-        for c in &cands[1..] {
-            hull = hull.hull(&c.region);
-        }
-        hull
+        self.nodes[id.0].hull
     }
 
     /// Minimum distance between the best candidates of two nodes — the
@@ -181,11 +225,23 @@ impl MergeForest {
     /// proxy for offset-conflict resolution cost. This is what makes the
     /// engine prefer offset-compatible partners — the quantity the paper's
     /// "minimum merging-cost" scheme needs on difficult instances.
-    fn pair_cost_estimate(&self, a: NodeId, b: NodeId, ia: usize, ib: usize) -> f64 {
+    ///
+    /// Takes an explicit [`Scratch`] because this is the innermost loop of
+    /// `merge`: the constraint assembly reuses the caller's buffers
+    /// instead of allocating per call.
+    fn pair_cost_estimate_in(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        scratch: &mut Scratch,
+    ) -> f64 {
         let (ca, cb) = (&self.nodes[a.0].cands[ia], &self.nodes[b.0].cands[ib]);
         let d = ca.region.distance(&cb.region);
-        let cons = self.shared_constraints(a, b, ia, ib);
-        match intersect_delta_windows(&cons, self.cfg.skew_tol) {
+        self.shared_constraints_in(a, b, ia, ib, scratch);
+        let cons = &scratch.cons;
+        match intersect_delta_windows(cons, self.cfg.skew_tol) {
             Some(None) => d,
             Some(Some(w)) => {
                 let mut need = d;
@@ -202,13 +258,16 @@ impl MergeForest {
                 // shifts somewhere inside a child. Approximate with the
                 // wire needed to realize the full spread against the
                 // smaller load.
-                let mids: Vec<f64> = cons
-                    .iter()
-                    .map(|c| 0.5 * ((c.hi_b - c.lo_a - c.bound) + (c.bound + c.lo_b - c.hi_a)))
-                    .collect();
-                let spread = mids.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-                    - mids.iter().cloned().fold(f64::INFINITY, f64::min);
-                d + self.model.extension_for_delay(spread.max(0.0), ca.cap.min(cb.cap))
+                let (mut mid_lo, mut mid_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for c in cons {
+                    let mid = 0.5 * ((c.hi_b - c.lo_a - c.bound) + (c.bound + c.lo_b - c.hi_a));
+                    mid_lo = mid_lo.min(mid);
+                    mid_hi = mid_hi.max(mid);
+                }
+                let spread = mid_hi - mid_lo;
+                d + self
+                    .model
+                    .extension_for_delay(spread.max(0.0), ca.cap.min(cb.cap))
             }
         }
     }
@@ -216,23 +275,21 @@ impl MergeForest {
     /// Minimum estimated merge cost over all candidate pairs (see
     /// [`MergeForest::merge_distance`] for the purely geometric variant).
     pub fn merge_cost(&self, a: NodeId, b: NodeId) -> f64 {
+        let mut scratch = Scratch::default();
         let mut best = f64::INFINITY;
         for ia in 0..self.nodes[a.0].cands.len() {
             for ib in 0..self.nodes[b.0].cands.len() {
-                best = best.min(self.pair_cost_estimate(a, b, ia, ib));
+                best = best.min(self.pair_cost_estimate_in(a, b, ia, ib, &mut scratch));
             }
         }
         best
     }
 
     /// The largest root-to-sink delay among a node's candidates (used by
-    /// the delay-target merging-order enhancement, Ch. V.F).
+    /// the delay-target merging-order enhancement, Ch. V.F). O(1): cached
+    /// at candidate creation like [`MergeForest::representative_region`].
     pub fn max_delay(&self, id: NodeId) -> f64 {
-        self.nodes[id.0]
-            .cands
-            .iter()
-            .filter_map(|c| c.delays.overall_range().map(|r| r.hi))
-            .fold(0.0, f64::max)
+        self.nodes[id.0].max_delay
     }
 
     /// Worst skew-bound violation accepted so far (seconds); zero on any
@@ -258,13 +315,7 @@ impl MergeForest {
         assert!(a != b, "cannot merge a node with itself");
         // Rank child-candidate pairs by estimated merge cost (distance plus
         // forced snaking / conflict-resolution cost); expand the best few.
-        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
-        for ia in 0..self.nodes[a.0].cands.len() {
-            for ib in 0..self.nodes[b.0].cands.len() {
-                pairs.push((self.pair_cost_estimate(a, b, ia, ib), ia, ib));
-            }
-        }
-        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("costs are not NaN"));
+        let mut pairs = self.rank_candidate_pairs(a, b);
         pairs.truncate(self.cfg.pair_limit);
 
         let mut cands: Vec<Candidate> = Vec::new();
@@ -274,7 +325,7 @@ impl MergeForest {
             worst_residual = worst_residual.max(residual);
             cands.extend(new_cands);
         }
-        if std::env::var_os("ASTDME_DEBUG").is_some() {
+        if self.cfg.debug {
             if let Some(c) = cands.first() {
                 let d = self.nodes[a.0].cands[0]
                     .region
@@ -306,12 +357,66 @@ impl MergeForest {
             self.fuse_classes(&mut cands);
         }
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node {
-            cands,
-            children: Some((a, b)),
-            sink: None,
-        });
+        self.nodes.push(Node::new(cands, Some((a, b)), None));
         id
+    }
+
+    /// Estimates the merge cost of every child-candidate pair and returns
+    /// them sorted cheapest-first. With the `parallel` feature, large pair
+    /// sets fan out over threads (each worker with its own [`Scratch`]);
+    /// results are identical to the serial path.
+    fn rank_candidate_pairs(&mut self, a: NodeId, b: NodeId) -> Vec<(f64, usize, usize)> {
+        let (na, nb) = (self.nodes[a.0].cands.len(), self.nodes[b.0].cands.len());
+        let index_pairs: Vec<(usize, usize)> = (0..na)
+            .flat_map(|ia| (0..nb).map(move |ib| (ia, ib)))
+            .collect();
+        let costs = self.pair_costs(a, b, &index_pairs);
+        let mut pairs: Vec<(f64, usize, usize)> = index_pairs
+            .iter()
+            .zip(costs)
+            .map(|(&(ia, ib), cost)| (cost, ia, ib))
+            .collect();
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("costs are not NaN"));
+        pairs
+    }
+
+    #[cfg(feature = "parallel")]
+    fn pair_costs(&mut self, a: NodeId, b: NodeId, index_pairs: &[(usize, usize)]) -> Vec<f64> {
+        // Below the fan-out threshold, thread spawns cost more than the
+        // estimates; reuse the shared scratch serially as the default
+        // build does. Above it, each worker thread builds one scratch and
+        // reuses it across its whole chunk (the shared one cannot cross
+        // threads).
+        const PAR_THRESHOLD: usize = 64;
+        if index_pairs.len() < PAR_THRESHOLD {
+            return self.pair_costs_serial(a, b, index_pairs);
+        }
+        astdme_par::par_map_with(
+            index_pairs,
+            PAR_THRESHOLD,
+            Scratch::default,
+            |scratch, &(ia, ib)| self.pair_cost_estimate_in(a, b, ia, ib, scratch),
+        )
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn pair_costs(&mut self, a: NodeId, b: NodeId, index_pairs: &[(usize, usize)]) -> Vec<f64> {
+        self.pair_costs_serial(a, b, index_pairs)
+    }
+
+    fn pair_costs_serial(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        index_pairs: &[(usize, usize)],
+    ) -> Vec<f64> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let costs = index_pairs
+            .iter()
+            .map(|&(ia, ib)| self.pair_cost_estimate_in(a, b, ia, ib, &mut scratch))
+            .collect();
+        self.scratch = scratch;
+        costs
     }
 
     /// Fuses the effective classes co-resident in a freshly merged node
@@ -360,7 +465,9 @@ impl MergeForest {
             return (self.sample_candidates(a, b, ia, ib, d, &set), 0.0);
         }
         // Snaking: the window exists but needs more wire than d.
-        if let Some(t) = min_total_for_feasibility(&self.model, cap_a, cap_b, d, &cons, self.cfg.skew_tol) {
+        if let Some(t) =
+            min_total_for_feasibility(&self.model, cap_a, cap_b, d, &cons, self.cfg.skew_tol)
+        {
             let t = t + (t * 1e-12).max(1e-9);
             let set = feasible_splits(&self.model, cap_a, cap_b, t, &cons, self.cfg.skew_tol);
             if !set.is_empty() {
@@ -369,7 +476,7 @@ impl MergeForest {
         }
         // Case 4: conflicting δ-windows — only re-balancing inside a child
         // can align the groups (the paper's wire sneaking, Fig. 5).
-        let debug = std::env::var_os("ASTDME_DEBUG").is_some();
+        let debug = self.cfg.debug;
         if debug {
             eprintln!(
                 "[conflict] merge {}x{} cands {ia},{ib}: {} shared groups",
@@ -394,9 +501,17 @@ impl MergeForest {
             if !set.is_empty() {
                 return (self.sample_candidates(a, b, ia2, ib2, d2, &set), 0.0);
             }
-            if let Some(t) = min_total_for_feasibility(&self.model, cap_a2, cap_b2, d2, &cons2, self.cfg.skew_tol) {
+            if let Some(t) = min_total_for_feasibility(
+                &self.model,
+                cap_a2,
+                cap_b2,
+                d2,
+                &cons2,
+                self.cfg.skew_tol,
+            ) {
                 let t = t + (t * 1e-12).max(1e-9);
-                let set = feasible_splits(&self.model, cap_a2, cap_b2, t, &cons2, self.cfg.skew_tol);
+                let set =
+                    feasible_splits(&self.model, cap_a2, cap_b2, t, &cons2, self.cfg.skew_tol);
                 if !set.is_empty() {
                     return (self.sample_candidates(a, b, ia2, ib2, t, &set), 0.0);
                 }
@@ -426,7 +541,15 @@ impl MergeForest {
     /// Per-class adjusted delay hulls of a delay map:
     /// `(class, adj_lo, adj_hi, min member bound)`, ascending by class.
     fn effective_entries(&self, delays: &DelayMap) -> Vec<(u32, f64, f64, f64)> {
-        let mut out: Vec<(u32, f64, f64, f64)> = Vec::with_capacity(delays.group_count());
+        let mut out = Vec::with_capacity(delays.group_count());
+        self.effective_entries_in(delays, &mut out);
+        out
+    }
+
+    /// [`MergeForest::effective_entries`] into a reused buffer (cleared
+    /// first) — the hot path of pair-cost estimation.
+    fn effective_entries_in(&self, delays: &DelayMap, out: &mut Vec<(u32, f64, f64, f64)>) {
+        out.clear();
         for (g, r) in delays.iter() {
             let c = self.class_of(g);
             let (lo, hi) = (r.lo - self.phi[g.index()], r.hi - self.phi[g.index()]);
@@ -441,20 +564,40 @@ impl MergeForest {
             }
         }
         out.sort_by_key(|(c, ..)| *c);
-        out
     }
 
     /// Shared-group constraints between two candidates. With group fusion
     /// on, constraints are per effective class over offset-adjusted delays;
     /// otherwise per original group.
-    fn shared_constraints(&self, a: NodeId, b: NodeId, ia: usize, ib: usize) -> Vec<SharedConstraint> {
+    fn shared_constraints(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+    ) -> Vec<SharedConstraint> {
+        let mut scratch = Scratch::default();
+        self.shared_constraints_in(a, b, ia, ib, &mut scratch);
+        scratch.cons
+    }
+
+    /// [`MergeForest::shared_constraints`] into `scratch.cons` (cleared
+    /// first), reusing `scratch`'s entry buffers.
+    fn shared_constraints_in(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        scratch: &mut Scratch,
+    ) {
         let (ca, cb) = (&self.nodes[a.0].cands[ia], &self.nodes[b.0].cands[ib]);
+        let cons = &mut scratch.cons;
+        cons.clear();
         if self.cfg.fuse_groups {
-            let (ea, eb) = (
-                self.effective_entries(&ca.delays),
-                self.effective_entries(&cb.delays),
-            );
-            let mut cons = Vec::new();
+            self.effective_entries_in(&ca.delays, &mut scratch.ea);
+            self.effective_entries_in(&cb.delays, &mut scratch.eb);
+            let (ea, eb) = (&scratch.ea, &scratch.eb);
             let (mut i, mut j) = (0, 0);
             while i < ea.len() && j < eb.len() {
                 match ea[i].0.cmp(&eb[j].0) {
@@ -473,23 +616,19 @@ impl MergeForest {
                     }
                 }
             }
-            return cons;
+            return;
         }
-        ca.delays
-            .shared_groups(&cb.delays)
-            .into_iter()
-            .map(|g| {
-                let ra = ca.delays.range(g).expect("shared group present in a");
-                let rb = cb.delays.range(g).expect("shared group present in b");
-                SharedConstraint {
-                    lo_a: ra.lo,
-                    hi_a: ra.hi,
-                    lo_b: rb.lo,
-                    hi_b: rb.hi,
-                    bound: self.bounds[g.index()],
-                }
-            })
-            .collect()
+        cons.extend(ca.delays.shared_groups(&cb.delays).into_iter().map(|g| {
+            let ra = ca.delays.range(g).expect("shared group present in a");
+            let rb = cb.delays.range(g).expect("shared group present in b");
+            SharedConstraint {
+                lo_a: ra.lo,
+                hi_a: ra.hi,
+                lo_b: rb.lo,
+                hi_b: rb.hi,
+                bound: self.bounds[g.index()],
+            }
+        }));
     }
 
     /// Builds candidates for sampled splits of a feasible set.
@@ -560,7 +699,11 @@ impl MergeForest {
         };
         for (child, ic, other, io, child_is_a) in order {
             if let Some(new_ic) = self.adjust_child(child, ic, other, io, child_is_a) {
-                return Some(if child_is_a { (new_ic, ib) } else { (ia, new_ic) });
+                return Some(if child_is_a {
+                    (new_ic, ib)
+                } else {
+                    (ia, new_ic)
+                });
             }
         }
         None
@@ -664,7 +807,7 @@ impl MergeForest {
             }
             .unwrap_or(d);
             let cost = new_c.wirelen + parent_total;
-            if best.map_or(true, |(bc, _)| cost < bc) {
+            if best.is_none_or(|(bc, _)| cost < bc) {
                 best = Some((cost, idx));
             }
         }
@@ -723,10 +866,7 @@ impl MergeForest {
 
         // Decompose per child: common part on the edge, residual recursed.
         let split_side = |delays: &DelayMap| -> (f64, Vec<(GroupId, f64)>) {
-            let common = delays
-                .groups()
-                .map(shift_of)
-                .fold(f64::INFINITY, f64::min);
+            let common = delays.groups().map(shift_of).fold(f64::INFINITY, f64::min);
             let residual: Vec<(GroupId, f64)> = delays
                 .groups()
                 .filter_map(|g| {
@@ -774,7 +914,7 @@ impl MergeForest {
 
         let new_cand = self.build_candidate(l, r, il2, ir2, el2, er2);
         let idx = self.nodes[node.0].cands.len();
-        self.nodes[node.0].cands.push(new_cand);
+        self.nodes[node.0].push_candidate(new_cand);
         Some(idx)
     }
 
@@ -789,14 +929,15 @@ impl MergeForest {
         cap_r: f64,
         dist: f64,
     ) -> Option<(f64, f64)> {
-        let len_for = |d: f64, cap: f64| -> f64 {
-            self.model.extension_for_delay(d.max(0.0), cap)
-        };
+        let len_for = |d: f64, cap: f64| -> f64 { self.model.extension_for_delay(d.max(0.0), cap) };
         let total = |x: f64| -> f64 { len_for(dl_base + x, cap_l) + len_for(dr_base + x, cap_r) };
         // Smallest admissible x keeps both delays non-negative.
         let x_min = (-dl_base).max(-dr_base);
         if total(x_min) >= dist {
-            return Some((len_for(dl_base + x_min, cap_l), len_for(dr_base + x_min, cap_r)));
+            return Some((
+                len_for(dl_base + x_min, cap_l),
+                len_for(dr_base + x_min, cap_r),
+            ));
         }
         // Grow x until the children become reachable, then bisect to the
         // minimum-wire point total(x) == dist.
@@ -843,10 +984,7 @@ impl MergeForest {
             hi_min = hi_min.min(c.bound + c.lo_b - c.hi_a);
         }
         let (delta_hat, residual) = if lo_max.is_finite() && hi_min.is_finite() {
-            (
-                0.5 * (lo_max + hi_min),
-                (0.5 * (lo_max - hi_min)).max(0.0),
-            )
+            (0.5 * (lo_max + hi_min), (0.5 * (lo_max - hi_min)).max(0.0))
         } else {
             (0.0, 0.0)
         };
@@ -896,8 +1034,7 @@ impl MergeForest {
         // Drop near-duplicates (same wirelen, same region within tolerance).
         cands.dedup_by(|x, y| {
             (x.wirelen - y.wirelen).abs() <= 1e-9 * (1.0 + y.wirelen)
-                && x.region.hull(&y.region).half_perimeter()
-                    <= y.region.half_perimeter() + 1e-9
+                && x.region.hull(&y.region).half_perimeter() <= y.region.half_perimeter() + 1e-9
         });
         cands.truncate(k.max(1));
     }
@@ -928,7 +1065,13 @@ impl MergeForest {
         // electrical wire to parent, parent point).
         let root_cand = &self.nodes[root.0].cands[best_idx];
         let root_pos = root_cand.region.nearest_point(source);
-        let mut stack = vec![(root, best_idx, None::<usize>, source.dist(root_pos), root_pos)];
+        let mut stack = vec![(
+            root,
+            best_idx,
+            None::<usize>,
+            source.dist(root_pos),
+            root_pos,
+        )];
         while let Some((nid, cidx, parent, wire, pos)) = stack.pop() {
             let me = nodes.len();
             let cand = &self.nodes[nid.0].cands[cidx];
@@ -1093,10 +1236,7 @@ mod tests {
         let d = f
             .candidates(a)
             .iter()
-            .map(|ca| {
-                ca.region
-                    .distance(&f.candidates(b)[0].region)
-            })
+            .map(|ca| ca.region.distance(&f.candidates(b)[0].region))
             .fold(f64::INFINITY, f64::min);
         assert!(ea + eb > d + 1.0, "expected a snaking detour");
         let r = c.delays.range(GroupId(0)).unwrap();

@@ -5,7 +5,6 @@ use std::error::Error;
 
 /// Identifier of a sink group (`G_1 … G_k` in the paper), dense from zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroupId(pub u32);
 
 impl GroupId {
@@ -54,7 +53,11 @@ pub enum InstanceError {
 impl fmt::Display for InstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::GroupOutOfRange { sink, group, group_count } => write!(
+            Self::GroupOutOfRange {
+                sink,
+                group,
+                group_count,
+            } => write!(
                 f,
                 "sink {sink} assigned to group {group}, but only {group_count} groups declared"
             ),
@@ -89,7 +92,6 @@ impl Error for InstanceError {}
 /// # Ok::<(), astdme_engine::InstanceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Groups {
     assignment: Vec<GroupId>,
     members: Vec<Vec<usize>>,
@@ -143,7 +145,7 @@ impl Groups {
     ///
     /// Fails if the bound is negative or NaN.
     pub fn with_uniform_bound(mut self, bound: f64) -> Result<Self, InstanceError> {
-        if !(bound >= 0.0) {
+        if bound.is_nan() || bound < 0.0 {
             return Err(InstanceError::BadBound(0));
         }
         for b in &mut self.bounds {
@@ -165,7 +167,7 @@ impl Groups {
                 assignments: bounds.len(),
             });
         }
-        if let Some(g) = bounds.iter().position(|b| !(*b >= 0.0)) {
+        if let Some(g) = bounds.iter().position(|b| b.is_nan() || *b < 0.0) {
             return Err(InstanceError::BadBound(g));
         }
         self.bounds = bounds;
@@ -235,7 +237,14 @@ mod tests {
     #[test]
     fn rejects_out_of_range_group() {
         let err = Groups::from_assignments(vec![0, 2], 2).unwrap_err();
-        assert!(matches!(err, InstanceError::GroupOutOfRange { sink: 1, group: 2, .. }));
+        assert!(matches!(
+            err,
+            InstanceError::GroupOutOfRange {
+                sink: 1,
+                group: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -274,7 +283,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = InstanceError::GroupOutOfRange { sink: 3, group: 9, group_count: 4 };
+        let e = InstanceError::GroupOutOfRange {
+            sink: 3,
+            group: 9,
+            group_count: 4,
+        };
         assert!(e.to_string().contains("sink 3"));
         assert!(e.to_string().contains("group 9"));
     }

@@ -7,7 +7,6 @@ use crate::{GroupId, Groups, InstanceError};
 
 /// A clock sink (flip-flop clock pin): a position and a load capacitance.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sink {
     /// Placement of the sink in the Manhattan plane (µm).
     pub pos: Point,
@@ -47,7 +46,6 @@ impl Sink {
 /// # Ok::<(), astdme_engine::InstanceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Instance {
     sinks: Vec<Sink>,
     groups: Groups,
@@ -80,7 +78,7 @@ impl Instance {
         }
         for (i, s) in sinks.iter().enumerate() {
             let finite = s.pos.x.is_finite() && s.pos.y.is_finite();
-            if !finite || !(s.cap > 0.0) || !s.cap.is_finite() {
+            if !finite || !s.cap.is_finite() || s.cap <= 0.0 {
                 return Err(InstanceError::BadSink(i));
             }
         }
@@ -189,7 +187,10 @@ mod tests {
             Point::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, InstanceError::AssignmentLengthMismatch { .. }));
+        assert!(matches!(
+            err,
+            InstanceError::AssignmentLengthMismatch { .. }
+        ));
     }
 
     #[test]

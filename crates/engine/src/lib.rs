@@ -62,11 +62,11 @@ mod repair;
 mod routed;
 
 pub use audit::{audit, group_ranges, AuditReport};
-pub use repair::{repair_group_skew, RepairOutcome};
 pub use candidate::{CandKind, Candidate};
 pub use config::EngineConfig;
 pub use delaymap::{DelayMap, DelayRange};
 pub use forest::{MergeForest, NodeId};
 pub use group::{GroupId, Groups, InstanceError};
 pub use instance::{Instance, Sink};
+pub use repair::{repair_group_skew, RepairOutcome};
 pub use routed::{RoutedNode, RoutedTree};

@@ -122,9 +122,7 @@ pub fn repair_group_skew(
                 let w = nodes[node].wire;
                 let derivative = match model {
                     DelayModel::Pathlength => 1.0,
-                    DelayModel::Elmore(_) => {
-                        r_unit * (c_unit * w + cap) + r_path[node] * c_unit
-                    }
+                    DelayModel::Elmore(_) => r_unit * (c_unit * w + cap) + r_path[node] * c_unit,
                 };
                 nodes[node].wire = w + needed / derivative;
             }
@@ -232,13 +230,23 @@ mod tests {
         let skew = audit(&tree, &inst, &model).max_intra_group_skew();
         // Bound larger than the skew: nothing to do.
         let loose = inst
-            .with_groups(Groups::single(2).unwrap().with_uniform_bound(skew * 2.0).unwrap())
+            .with_groups(
+                Groups::single(2)
+                    .unwrap()
+                    .with_uniform_bound(skew * 2.0)
+                    .unwrap(),
+            )
             .unwrap();
         let out = repair_group_skew(&tree, &loose, &model, 1e-18, 60);
         assert_eq!(out.iterations, 0);
         // Bound at half the skew: repair down to it, not to zero.
         let tight = inst
-            .with_groups(Groups::single(2).unwrap().with_uniform_bound(skew * 0.5).unwrap())
+            .with_groups(
+                Groups::single(2)
+                    .unwrap()
+                    .with_uniform_bound(skew * 0.5)
+                    .unwrap(),
+            )
             .unwrap();
         let out = repair_group_skew(&tree, &tight, &model, 1e-18, 60);
         let after = audit(&out.tree, &tight, &model);

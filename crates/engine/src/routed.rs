@@ -10,7 +10,6 @@ use astdme_geom::Point;
 /// the snaking detour is real wire and counts toward wirelength, delay and
 /// capacitance.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoutedNode {
     /// Embedding location.
     pub pos: Point,
@@ -29,7 +28,6 @@ pub struct RoutedNode {
 /// earlier... (strictly: to some valid index). The clock source is a
 /// separate point feeding the root through the root's `wire`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoutedTree {
     source: Point,
     nodes: Vec<RoutedNode>,

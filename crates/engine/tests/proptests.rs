@@ -25,7 +25,13 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
             })
             .collect();
         let assignment: Vec<usize> = (0..n)
-            .map(|i| if i < k { i } else { (next() * k as f64) as usize % k })
+            .map(|i| {
+                if i < k {
+                    i
+                } else {
+                    (next() * k as f64) as usize % k
+                }
+            })
             .collect();
         Instance::new(
             sinks,

@@ -18,7 +18,6 @@ use core::fmt;
 /// assert_eq!(a.dilate(1.5).intersect(&b.dilate(1.5)).unwrap(), Interval::new(3.5, 3.5));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     lo: f64,
     hi: f64,

@@ -13,7 +13,6 @@ use core::fmt;
 /// assert_eq!(a.dist(b), 4.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -77,7 +76,6 @@ impl From<(f64, f64)> for Point {
 /// The rotation is a bijection; [`RotPoint::to_real`] inverts it. L∞
 /// distance here equals L1 distance in the real plane.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RotPoint {
     /// `x + y`.
     pub u: f64,

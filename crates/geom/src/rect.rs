@@ -19,7 +19,6 @@ use crate::Point;
 /// assert_eq!(quads.len(), 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     x0: f64,
     y0: f64,
@@ -154,11 +153,7 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}, {}] x [{}, {}]",
-            self.x0, self.x1, self.y0, self.y1
-        )
+        write!(f, "[{}, {}] x [{}, {}]", self.x0, self.x1, self.y0, self.y1)
     }
 }
 

@@ -193,8 +193,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at least the two boundary samples")]
-    fn sampling_needs_two_points()
-    {
+    fn sampling_needs_two_points() {
         let a = Trr::from_point(pt(0.0, 0.0));
         let _ = sdr_sample_arcs(&a, &a, 1);
     }

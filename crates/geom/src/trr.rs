@@ -35,7 +35,6 @@ use crate::{Interval, Point, RotPoint};
 /// assert_eq!(arc.distance(&Trr::from_point(Point::new(4.0, 2.0))), 2.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trr {
     u: Interval,
     v: Interval,
@@ -369,7 +368,9 @@ mod tests {
 
     #[test]
     fn translate_moves_center() {
-        let t = Trr::from_point(pt(1.0, 2.0)).dilate(1.0).translate(3.0, -1.0);
+        let t = Trr::from_point(pt(1.0, 2.0))
+            .dilate(1.0)
+            .translate(3.0, -1.0);
         assert!(t.center().approx_eq(pt(4.0, 1.0), 1e-12));
     }
 

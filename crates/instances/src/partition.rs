@@ -43,7 +43,7 @@ pub fn intermingled(p: &Placement, k: usize, seed: u64) -> Result<Instance, Inst
     let n = p.sinks.len();
     // Balanced: round-robin labels, then shuffle positions.
     let mut labels: Vec<usize> = (0..n).map(|i| i % k).collect();
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x127_E3_4177);
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x1_27E3_4177);
     labels.shuffle(&mut rng);
     Instance::new(
         p.sinks.clone(),
@@ -69,7 +69,7 @@ fn grid_shape(k: usize) -> (usize, usize) {
     assert!(k > 0, "need at least one group");
     let mut best = (k, 1);
     for rows in 1..=k {
-        if k % rows == 0 {
+        if k.is_multiple_of(rows) {
             let cols = k / rows;
             if (cols as i64 - rows as i64).abs() < (best.0 as i64 - best.1 as i64).abs() {
                 best = (cols, rows);
@@ -120,10 +120,7 @@ mod tests {
         let sizes: Vec<usize> = (0..6)
             .map(|g| a.groups().members(astdme_core::GroupId(g as u32)).len())
             .collect();
-        let (lo, hi) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(hi - lo <= 1, "sizes {sizes:?}");
     }
 

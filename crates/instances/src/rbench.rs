@@ -78,7 +78,7 @@ pub fn r_benchmark(bench: RBench, seed: u64) -> Placement {
 
 /// Generates an arbitrary-size synthetic placement (see [`r_benchmark`]).
 pub fn synthetic_instance(n: usize, seed: u64, name: &str) -> Placement {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xA57_D3E5_EED);
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xA5_7D3E_5EED);
     let sinks = (0..n)
         .map(|_| {
             let x = rng.random_range(0.0..DIE_SIDE);

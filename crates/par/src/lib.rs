@@ -1,0 +1,122 @@
+//! Ordered parallel map over slices, built on `std::thread::scope`.
+//!
+//! The workspace's `parallel` features parallelize pair-cost estimation in
+//! the merge engine and planner. The container image has no crates.io
+//! access, so instead of `rayon` this crate provides the one primitive
+//! those features need: [`par_map`], a fork-join map that preserves input
+//! order (making parallel runs bit-identical to serial ones) and falls back
+//! to a serial loop for small inputs where thread spawn overhead dominates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Maps `f` over `items`, in order, using up to `available_parallelism`
+/// threads. Inputs shorter than `min_len` (or single-core machines) run
+/// serially. Results are returned in input order regardless of scheduling,
+/// so output is deterministic.
+pub fn par_map<T, R, F>(items: &[T], min_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(items, min_len, || (), move |(), item| f(item))
+}
+
+/// Like [`par_map`], but each worker thread builds one scratch context
+/// with `make_ctx` and threads it through its whole chunk — for callers
+/// whose per-item work wants reusable buffers without per-item
+/// allocation. The serial fallback builds exactly one context.
+pub fn par_map_with<C, T, R, F>(
+    items: &[T],
+    min_len: usize,
+    make_ctx: impl Fn() -> C + Sync,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut C, &T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    if items.len() < min_len.max(2) || threads < 2 {
+        let mut ctx = make_ctx();
+        return items.iter().map(|item| f(&mut ctx, item)).collect();
+    }
+    let threads = threads.min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(|| {
+                    let mut ctx = make_ctx();
+                    part.iter()
+                        .map(|item| f(&mut ctx, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        let parallel = par_map(&items, 0, |x| x * 3 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn small_inputs_run_serially() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, 64, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: [u32; 0] = [];
+        assert!(par_map(&items, 0, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn par_map_with_reuses_one_context_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..10_000).collect();
+        let contexts = AtomicUsize::new(0);
+        let out = par_map_with(
+            &items,
+            0,
+            || {
+                contexts.fetch_add(1, Ordering::SeqCst);
+                Vec::<u64>::new()
+            },
+            |buf, &x| {
+                buf.clear();
+                buf.push(x);
+                buf[0] * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(
+            contexts.load(Ordering::SeqCst) <= workers.min(items.len()),
+            "one context per worker, not per item"
+        );
+    }
+}

@@ -119,6 +119,14 @@ impl GridIndex {
         self.len
     }
 
+    /// The largest region diameter ever inserted (conservative: never
+    /// shrunk on removal). Query ring bounds derive from it, so callers
+    /// maintaining an index long-term (the incremental planner) watch this
+    /// to decide when a rebuild pays off.
+    pub fn max_extent(&self) -> f64 {
+        self.max_extent
+    }
+
     /// Returns `true` if the index holds no items.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -159,13 +167,57 @@ impl GridIndex {
                         continue;
                     }
                     let d = region.distance(t);
-                    if best.map_or(true, |(_, bd)| d < bd) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((*k, d));
                     }
                 }
             }
         }
         best
+    }
+
+    /// Visits every item (other than `key`) whose exact region distance to
+    /// `region` is at most `bound`, calling `f(item_key, distance)`.
+    /// Ring expansion stops as soon as no unvisited cell can hold an item
+    /// within the bound, so tight bounds touch only a few cells.
+    pub fn neighbors_within<F: FnMut(usize, f64)>(
+        &self,
+        key: usize,
+        region: &Trr,
+        bound: f64,
+        mut f: F,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let center_cell = self.cell_of(region.center());
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        for ring in 0..=max_ring {
+            let ring_lb =
+                ((ring - 1).max(0) as f64) * self.cell_size - self.max_extent - region.diameter();
+            if ring_lb > bound {
+                break;
+            }
+            for (cx, cy) in ring_cells(center_cell, ring) {
+                let Some(items) = self.cells.get(&(cx, cy)) else {
+                    continue;
+                };
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if d <= bound {
+                        f(*k, d);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -206,9 +258,13 @@ mod tests {
         let mut coords = Vec::new();
         let mut s: u64 = 42;
         for _ in 0..200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 16) % 10_000) as f64 / 10.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 16) % 10_000) as f64 / 10.0;
             coords.push((x, y));
         }
@@ -267,8 +323,33 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_within_finds_exactly_the_in_range_items() {
+        let items = pts(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (25.0, 0.0),
+            (100.0, 0.0),
+            (31.0, 0.0),
+        ]);
+        let idx = GridIndex::build(&items);
+        let mut found: Vec<(usize, f64)> = Vec::new();
+        idx.neighbors_within(0, &items[0].1, 30.0, |k, d| found.push((k, d)));
+        found.sort_by_key(|&(k, _)| k);
+        assert_eq!(found, vec![(1, 10.0), (2, 25.0)]);
+        // Zero bound: only exact-contact items; none here.
+        let mut none = 0;
+        idx.neighbors_within(3, &items[3].1, 1.0, |_, _| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
     fn clustered_points_found_across_cells() {
-        let items = pts(&[(0.0, 0.0), (1000.0, 1000.0), (1000.5, 1000.5), (2000.0, 0.0)]);
+        let items = pts(&[
+            (0.0, 0.0),
+            (1000.0, 1000.0),
+            (1000.5, 1000.5),
+            (2000.0, 0.0),
+        ]);
         let idx = GridIndex::build(&items);
         let (nn, _) = idx.nearest(1, &items[1].1).unwrap();
         assert_eq!(nn, 2);

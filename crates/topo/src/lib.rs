@@ -5,7 +5,15 @@
 //!
 //! * [`GridIndex`] — a bucketed neighbor index over subtree root regions,
 //!   so nearest-pair queries do not scan all pairs;
-//! * [`plan_round`] — one round of merge planning under a [`TopoConfig`]:
+//! * [`plan_round`] — one round of merge planning under a [`TopoConfig`],
+//!   **from scratch** (rebuilds the index and re-queries every neighbor on
+//!   each call): the reference implementation;
+//! * [`MergePlanner`] — the **incremental planner** the routing drivers
+//!   use: the index is built once, merges patch it in place, and only
+//!   invalidated neighbor caches are re-queried, making a full bottom-up
+//!   run near-linear instead of quadratic (see the `planner` module docs
+//!   for the data structures and the equivalence argument);
+//! * two merge orders under either planner:
 //!   * [`MergeOrder::GreedyNearest`]: the paper's base scheme, one
 //!     minimum-cost pair per round;
 //!   * [`MergeOrder::MultiMerge`]: Edahiro's simultaneous multi-merging
@@ -18,12 +26,34 @@
 //! The schemes only *order* merges; skew feasibility is enforced by the
 //! engine regardless, so any ordering yields a correct tree — ordering
 //! affects wirelength and runtime.
+//!
+//! With the `parallel` feature, exact merge-cost refinement inside a
+//! planning round fans out over threads (`astdme_par`); results are
+//! bit-identical to serial runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod grid;
 mod plan;
+mod planner;
 
 pub use grid::GridIndex;
 pub use plan::{plan_round, MergeOrder, MergeSpace, TopoConfig};
+pub use planner::MergePlanner;
+
+/// Marker bound for planner spaces: with the `parallel` feature enabled it
+/// requires [`Sync`] (spaces are shared across worker threads); without it
+/// every type qualifies. Blanket-implemented — never implement it manually.
+#[cfg(feature = "parallel")]
+pub trait MaybeSync: Sync {}
+#[cfg(feature = "parallel")]
+impl<T: Sync + ?Sized> MaybeSync for T {}
+
+/// Marker bound for planner spaces: with the `parallel` feature enabled it
+/// requires [`Sync`] (spaces are shared across worker threads); without it
+/// every type qualifies. Blanket-implemented — never implement it manually.
+#[cfg(not(feature = "parallel"))]
+pub trait MaybeSync {}
+#[cfg(not(feature = "parallel"))]
+impl<T: ?Sized> MaybeSync for T {}

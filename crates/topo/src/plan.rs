@@ -1,8 +1,21 @@
 //! Merge-round planning: which subtree pairs to merge next.
+//!
+//! [`plan_round`] is the **from-scratch reference planner**: it recomputes
+//! every nearest neighbor on each call. The production path is the
+//! incremental [`MergePlanner`](crate::MergePlanner), which maintains the
+//! same nearest-neighbor structure across rounds; `plan_round` remains the
+//! specification the planner is tested against (and the baseline the
+//! `scaling` bench compares runtime with).
 
 use astdme_geom::Trr;
 
-use crate::GridIndex;
+use crate::{GridIndex, MaybeSync};
+
+/// Below this many active subtrees, planning scans all pairs exactly
+/// instead of going through the grid index: the scan is cheaper than
+/// maintaining the index and, unlike the grid's region-level query, ranks
+/// directly by exact merge cost.
+pub(crate) const BRUTE_FORCE_CUTOFF: usize = 32;
 
 /// What the planner needs to know about the current set of subtrees.
 ///
@@ -67,45 +80,38 @@ impl TopoConfig {
     }
 }
 
-/// Plans one merge round over the `active` subtrees.
-///
-/// Returns disjoint pairs to merge, best first: exactly one for
-/// [`MergeOrder::GreedyNearest`], up to `fraction * active.len()` for
-/// [`MergeOrder::MultiMerge`]. Returns an empty vector when fewer than two
-/// subtrees remain.
-///
-/// The planner is deterministic: ties break toward smaller keys.
-pub fn plan_round<S: MergeSpace>(space: &S, active: &[usize], cfg: &TopoConfig) -> Vec<(usize, usize)> {
-    if active.len() < 2 {
-        return Vec::new();
-    }
-    // Exact all-pairs for small sets; grid-accelerated NN otherwise.
-    let nn: Vec<(usize, usize, f64)> = if active.len() <= 32 {
-        nearest_bruteforce(space, active)
-    } else {
-        nearest_with_grid(space, active)
-    };
-    let score = |&(a, b, d): &(usize, usize, f64)| {
-        d - cfg.delay_weight * (space.delay(a) + space.delay(b))
-    };
-    let mut ranked = nn;
-    ranked.sort_by(|x, y| {
-        score(x)
-            .partial_cmp(&score(y))
-            .expect("scores are not NaN")
-            .then(x.0.cmp(&y.0))
-            .then(x.1.cmp(&y.1))
-    });
-    let limit = match cfg.order {
+/// How many disjoint pairs one round may merge over `n` active subtrees.
+pub(crate) fn round_limit(order: MergeOrder, n: usize) -> usize {
+    match order {
         MergeOrder::GreedyNearest => 1,
         MergeOrder::MultiMerge { fraction } => {
             let f = fraction.clamp(1e-6, 0.5);
-            ((active.len() as f64 * f).ceil() as usize).max(1)
+            ((n as f64 * f).ceil() as usize).max(1)
         }
-    };
+    }
+}
+
+/// The pair score used for ranking: exact distance minus the delay-target
+/// bias. Lower merges earlier.
+pub(crate) fn pair_score<S: MergeSpace>(
+    space: &S,
+    cfg: &TopoConfig,
+    a: usize,
+    b: usize,
+    d: f64,
+) -> f64 {
+    d - cfg.delay_weight * (space.delay(a) + space.delay(b))
+}
+
+/// Greedily selects up to `limit` endpoint-disjoint pairs from
+/// `(a, b)` candidates already ranked best-first.
+pub(crate) fn select_disjoint(
+    ranked: impl Iterator<Item = (usize, usize)>,
+    limit: usize,
+) -> Vec<(usize, usize)> {
     let mut used = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(limit);
-    for (a, b, _) in ranked {
+    for (a, b) in ranked {
         if out.len() >= limit {
             break;
         }
@@ -119,9 +125,48 @@ pub fn plan_round<S: MergeSpace>(space: &S, active: &[usize], cfg: &TopoConfig) 
     out
 }
 
-/// For every active subtree, its nearest neighbor (deduplicated to
-/// unordered pairs).
-fn nearest_bruteforce<S: MergeSpace>(space: &S, active: &[usize]) -> Vec<(usize, usize, f64)> {
+/// Plans one merge round over the `active` subtrees, from scratch.
+///
+/// Returns disjoint pairs to merge, best first: exactly one for
+/// [`MergeOrder::GreedyNearest`], up to `fraction * active.len()` for
+/// [`MergeOrder::MultiMerge`]. Returns an empty vector when fewer than two
+/// subtrees remain.
+///
+/// The planner is deterministic: ties break toward smaller keys.
+pub fn plan_round<S: MergeSpace + MaybeSync>(
+    space: &S,
+    active: &[usize],
+    cfg: &TopoConfig,
+) -> Vec<(usize, usize)> {
+    if active.len() < 2 {
+        return Vec::new();
+    }
+    // Exact all-pairs for small sets; grid-accelerated NN otherwise.
+    let nn: Vec<(usize, usize, f64)> = if active.len() <= BRUTE_FORCE_CUTOFF {
+        nearest_bruteforce(space, active)
+    } else {
+        nearest_with_grid(space, active)
+    };
+    let mut ranked = nn;
+    ranked.sort_by(|x, y| {
+        pair_score(space, cfg, x.0, x.1, x.2)
+            .partial_cmp(&pair_score(space, cfg, y.0, y.1, y.2))
+            .expect("scores are not NaN")
+            .then(x.0.cmp(&y.0))
+            .then(x.1.cmp(&y.1))
+    });
+    select_disjoint(
+        ranked.into_iter().map(|(a, b, _)| (a, b)),
+        round_limit(cfg.order, active.len()),
+    )
+}
+
+/// For every active subtree, its nearest neighbor by exact merge cost
+/// (deduplicated to unordered pairs).
+pub(crate) fn nearest_bruteforce<S: MergeSpace>(
+    space: &S,
+    active: &[usize],
+) -> Vec<(usize, usize, f64)> {
     let mut pairs = Vec::with_capacity(active.len());
     for (i, &a) in active.iter().enumerate() {
         let mut best: Option<(usize, f64)> = None;
@@ -130,7 +175,7 @@ fn nearest_bruteforce<S: MergeSpace>(space: &S, active: &[usize]) -> Vec<(usize,
                 continue;
             }
             let d = space.distance(a, b);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((b, d));
             }
         }
@@ -142,20 +187,33 @@ fn nearest_bruteforce<S: MergeSpace>(space: &S, active: &[usize]) -> Vec<(usize,
     dedup_pairs(pairs)
 }
 
-fn nearest_with_grid<S: MergeSpace>(space: &S, active: &[usize]) -> Vec<(usize, usize, f64)> {
+fn nearest_with_grid<S: MergeSpace + MaybeSync>(
+    space: &S,
+    active: &[usize],
+) -> Vec<(usize, usize, f64)> {
     let items: Vec<(usize, Trr)> = active.iter().map(|&id| (id, space.region(id))).collect();
     let grid = GridIndex::build(&items);
-    let mut pairs = Vec::with_capacity(items.len());
-    for (id, region) in &items {
-        if let Some((nn, _)) = grid.nearest(*id, region) {
-            // Grid distance is between representative regions; refine with
-            // the exact candidate-level cost.
+    // Grid distance is between representative regions; refine with the
+    // exact candidate-level cost. The refinement is the expensive part and
+    // is embarrassingly parallel (`parallel` feature).
+    let pairs: Vec<Option<(usize, usize, f64)>> = map_chunked(&items, |(id, region)| {
+        grid.nearest(*id, region).map(|(nn, _)| {
             let d = space.distance(*id, nn);
             let (lo, hi) = if *id < nn { (*id, nn) } else { (nn, *id) };
-            pairs.push((lo, hi, d));
-        }
-    }
-    dedup_pairs(pairs)
+            (lo, hi, d)
+        })
+    });
+    dedup_pairs(pairs.into_iter().flatten().collect())
+}
+
+#[cfg(feature = "parallel")]
+fn map_chunked<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    astdme_par::par_map(items, 512, f)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn map_chunked<T, R>(items: &[T], f: impl Fn(&T) -> R) -> Vec<R> {
+    items.iter().map(f).collect()
 }
 
 fn dedup_pairs(mut pairs: Vec<(usize, usize, f64)>) -> Vec<(usize, usize, f64)> {
@@ -165,18 +223,18 @@ fn dedup_pairs(mut pairs: Vec<(usize, usize, f64)>) -> Vec<(usize, usize, f64)> 
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use astdme_geom::Point;
 
     /// A toy space over explicit points with optional delays.
-    struct Pts {
-        pts: Vec<Point>,
-        delays: Vec<f64>,
+    pub(crate) struct Pts {
+        pub(crate) pts: Vec<Point>,
+        pub(crate) delays: Vec<f64>,
     }
 
     impl Pts {
-        fn new(coords: &[(f64, f64)]) -> Self {
+        pub(crate) fn new(coords: &[(f64, f64)]) -> Self {
             Self {
                 pts: coords.iter().map(|&(x, y)| Point::new(x, y)).collect(),
                 delays: vec![0.0; coords.len()],

@@ -1,0 +1,531 @@
+//! The incremental merge planner: near-linear bottom-up merge ordering.
+//!
+//! [`plan_round`](crate::plan_round) is a from-scratch planner: every call
+//! rebuilds the grid index, re-queries every nearest neighbor, and re-ranks
+//! every pair, making the driving loop O(n²)–O(n³) over a whole routing
+//! run. [`MergePlanner`] keeps that work alive across rounds:
+//!
+//! * the [`GridIndex`] is built **once** and maintained by removal and
+//!   insertion (with amortized rebuilds when the active set halves or
+//!   region extents outgrow the cell size, keeping queries local);
+//! * each active subtree caches its nearest neighbor; a merge invalidates
+//!   only the entries whose neighbor was consumed (re-queried against the
+//!   grid) plus a bounded grid range query deciding whether the newly
+//!   created subtree became anyone's nearest neighbor (bounded by the
+//!   largest cached neighbor distance, tracked in a lazy max-heap);
+//! * candidate pairs live in a [`BTreeSet`] ordered by (score, keys), so a
+//!   round is selected by walking the set front instead of sorting;
+//! * the active set itself is a dense vector with a position map —
+//!   removal is `swap_remove`, never an O(n) `retain`.
+//!
+//! The planner produces the **same pair sequence** as the from-scratch
+//! reference on every instance (modulo exact ties in region distance,
+//! which are measure-zero for real placements): below
+//! `BRUTE_FORCE_CUTOFF` active subtrees it delegates to `plan_round`
+//! outright, and above it the cached neighbors are exactly the neighbors a
+//! fresh grid query would return. The equivalence is pinned down by the
+//! property tests in `tests/planner_equiv.rs`.
+
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+use astdme_geom::Trr;
+
+use crate::plan::{pair_score, round_limit, select_disjoint, BRUTE_FORCE_CUTOFF};
+use crate::{plan_round, GridIndex, MaybeSync, MergeSpace, TopoConfig};
+
+/// Maps a non-NaN `f64` to bits whose unsigned order matches the float
+/// order (sign-magnitude to two's-complement folding).
+#[inline]
+fn score_bits(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "pair scores must not be NaN");
+    let b = x.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Nn {
+    /// The neighbor's key.
+    key: usize,
+    /// Representative-region distance to it (the grid's metric, used to
+    /// decide whether a new subtree supersedes the cached neighbor).
+    region_dist: f64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: usize,
+    region: Trr,
+    nn: Option<Nn>,
+}
+
+#[derive(Debug)]
+struct PairInfo {
+    score: u64,
+    refs: u8,
+}
+
+/// Stateful, incremental merge planner (see the module docs).
+///
+/// Drive it with [`MergePlanner::plan_round`] /
+/// [`MergePlanner::apply_merge`]:
+///
+/// ```
+/// use astdme_geom::{Point, Trr};
+/// use astdme_topo::{MergePlanner, MergeSpace, TopoConfig};
+///
+/// struct Pts(Vec<Point>);
+/// impl MergeSpace for Pts {
+///     fn region(&self, id: usize) -> Trr { Trr::from_point(self.0[id]) }
+///     fn distance(&self, a: usize, b: usize) -> f64 { self.0[a].dist(self.0[b]) }
+///     fn delay(&self, _id: usize) -> f64 { 0.0 }
+/// }
+///
+/// let mut space = Pts(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(10.0, 0.0),
+/// ]);
+/// let mut planner = MergePlanner::new(&space, &[0, 1, 2], TopoConfig::greedy());
+/// while planner.len() > 1 {
+///     for (a, b) in planner.plan_round(&space) {
+///         // "Merge": a new point midway, registered as a fresh key.
+///         let m = space.0.len();
+///         let (pa, pb) = (space.0[a], space.0[b]);
+///         space.0.push(Point::new(0.5 * (pa.x + pb.x), 0.5 * (pa.y + pb.y)));
+///         planner.apply_merge(&space, a, b, m);
+///     }
+/// }
+/// assert_eq!(planner.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MergePlanner {
+    cfg: TopoConfig,
+    entries: Vec<Entry>,
+    /// key → index into `entries`.
+    pos: HashMap<usize, usize>,
+    grid: GridIndex,
+    /// Active count and max extent at the last grid (re)build; when the
+    /// set halves or extents quadruple, the grid is rebuilt so cell size
+    /// and query bounds track the surviving subtrees.
+    built_len: usize,
+    built_extent: f64,
+    /// Current nearest-neighbor pairs, ordered by `(score, lo, hi)` — the
+    /// exact ranking the from-scratch planner sorts into.
+    pairs: BTreeSet<(u64, usize, usize)>,
+    pair_info: HashMap<(usize, usize), PairInfo>,
+    /// key → keys whose cached neighbor is that key (lazily validated).
+    rev: HashMap<usize, Vec<usize>>,
+    /// Keys whose neighbor cache must be refilled from the grid.
+    dirty: Vec<usize>,
+    /// Lazy max-heap over `(region_dist bits, key)` of every cached
+    /// neighbor ever set; stale tops are popped on demand. Its maximum
+    /// bounds how far a new subtree can "take over" an existing cache,
+    /// which bounds the insertion range query.
+    rd_heap: BinaryHeap<(u64, usize)>,
+}
+
+impl MergePlanner {
+    /// Builds a planner over the subtrees in `active` (keys must be
+    /// unique). Costs one grid build plus one neighbor query per subtree —
+    /// the same work as a single from-scratch round.
+    pub fn new<S: MergeSpace>(space: &S, active: &[usize], cfg: TopoConfig) -> Self {
+        let entries: Vec<Entry> = active
+            .iter()
+            .map(|&k| Entry {
+                key: k,
+                region: space.region(k),
+                nn: None,
+            })
+            .collect();
+        let items: Vec<(usize, Trr)> = entries.iter().map(|e| (e.key, e.region)).collect();
+        let grid = GridIndex::build(&items);
+        let mut pos = HashMap::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            // Hard assert (matching merge_until_one_from_scratch): a
+            // duplicate key would silently corrupt `pos`/the grid and hang
+            // the merge loop in release builds.
+            let prev = pos.insert(e.key, i);
+            assert!(prev.is_none(), "duplicate planner key {}", e.key);
+        }
+        let built_extent = grid.max_extent();
+        let dirty = entries.iter().map(|e| e.key).collect();
+        Self {
+            cfg,
+            built_len: entries.len(),
+            entries,
+            pos,
+            grid,
+            built_extent,
+            pairs: BTreeSet::new(),
+            pair_info: HashMap::new(),
+            rev: HashMap::new(),
+            dirty,
+            rd_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of active subtrees.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no subtrees remain (only possible before any were added).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The single surviving key.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one subtree remains.
+    pub fn sole_key(&self) -> usize {
+        assert_eq!(
+            self.entries.len(),
+            1,
+            "planner still holds multiple subtrees"
+        );
+        self.entries[0].key
+    }
+
+    /// Plans one merge round over the current active set: disjoint pairs,
+    /// best first, exactly as [`plan_round`](crate::plan_round) would
+    /// return them. Does not modify the active set — report merges back
+    /// via [`MergePlanner::apply_merge`].
+    pub fn plan_round<S: MergeSpace + MaybeSync>(&mut self, space: &S) -> Vec<(usize, usize)> {
+        let n = self.entries.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        if n <= BRUTE_FORCE_CUTOFF {
+            // Delegate to the reference implementation: at this size the
+            // exact all-pairs scan is cheaper than index maintenance (and
+            // ranks by exact cost, which the reference also switches to).
+            let active: Vec<usize> = self.entries.iter().map(|e| e.key).collect();
+            return plan_round(space, &active, &self.cfg);
+        }
+        self.flush_dirty(space);
+        select_disjoint(
+            self.pairs.iter().map(|&(_, a, b)| (a, b)),
+            round_limit(self.cfg.order, n),
+        )
+    }
+
+    /// Records that subtrees `a` and `b` were merged into the new subtree
+    /// `merged`: O(ring) index maintenance plus one linear sweep for
+    /// neighbor takeover, instead of a full re-plan.
+    pub fn apply_merge<S: MergeSpace>(&mut self, space: &S, a: usize, b: usize, merged: usize) {
+        self.remove_key(a);
+        self.remove_key(b);
+        self.insert_key(space, merged);
+        self.maybe_rebuild();
+    }
+
+    /// Re-queries every key whose cached neighbor was invalidated.
+    fn flush_dirty<S: MergeSpace>(&mut self, space: &S) {
+        while let Some(k) = self.dirty.pop() {
+            let Some(&i) = self.pos.get(&k) else {
+                continue; // consumed after being marked dirty
+            };
+            if self.entries[i].nn.is_some() {
+                continue; // refilled by neighbor takeover in the meantime
+            }
+            let Some((nn_key, rd)) = self.grid.nearest(k, &self.entries[i].region) else {
+                continue; // sole survivor
+            };
+            let exact = space.distance(k, nn_key);
+            self.set_nn(space, i, nn_key, rd, exact);
+        }
+    }
+
+    /// Points entry `i` at neighbor `nn_key`, maintaining the pair set.
+    fn set_nn<S: MergeSpace>(
+        &mut self,
+        space: &S,
+        i: usize,
+        nn_key: usize,
+        region_dist: f64,
+        exact: f64,
+    ) {
+        let k = self.entries[i].key;
+        self.clear_nn(i);
+        self.entries[i].nn = Some(Nn {
+            key: nn_key,
+            region_dist,
+        });
+        self.rd_heap.push((region_dist.to_bits(), k));
+        self.rev.entry(nn_key).or_default().push(k);
+        let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+        let score = score_bits(pair_score(space, &self.cfg, lo, hi, exact));
+        let info = self
+            .pair_info
+            .entry((lo, hi))
+            .or_insert(PairInfo { score, refs: 0 });
+        if info.refs == 0 {
+            self.pairs.insert((score, lo, hi));
+        }
+        info.refs += 1;
+    }
+
+    /// Drops entry `i`'s cached neighbor (if any), unreferencing its pair.
+    fn clear_nn(&mut self, i: usize) {
+        let k = self.entries[i].key;
+        let Some(nn) = self.entries[i].nn.take() else {
+            return;
+        };
+        let (lo, hi) = if k < nn.key { (k, nn.key) } else { (nn.key, k) };
+        let info = self
+            .pair_info
+            .get_mut(&(lo, hi))
+            .expect("cached neighbor implies a registered pair");
+        info.refs -= 1;
+        if info.refs == 0 {
+            let score = info.score;
+            self.pair_info.remove(&(lo, hi));
+            self.pairs.remove(&(score, lo, hi));
+        }
+    }
+
+    fn remove_key(&mut self, key: usize) {
+        let i = self
+            .pos
+            .remove(&key)
+            .expect("apply_merge called with an inactive key");
+        self.clear_nn(i);
+        let entry = self.entries.swap_remove(i);
+        if i < self.entries.len() {
+            self.pos.insert(self.entries[i].key, i);
+        }
+        self.grid.remove(key, &entry.region);
+        // Whoever pointed at the removed key loses its neighbor: re-query.
+        if let Some(back_refs) = self.rev.remove(&key) {
+            for k in back_refs {
+                let Some(&ki) = self.pos.get(&k) else {
+                    continue; // stale back-reference
+                };
+                if self.entries[ki].nn.is_some_and(|nn| nn.key == key) {
+                    self.clear_nn(ki);
+                    self.dirty.push(k);
+                }
+            }
+        }
+    }
+
+    fn insert_key<S: MergeSpace>(&mut self, space: &S, key: usize) {
+        let region = space.region(key);
+        self.grid.insert(key, region);
+        self.pos.insert(key, self.entries.len());
+        self.entries.push(Entry {
+            key,
+            region,
+            nn: None,
+        });
+        self.dirty.push(key);
+        // Neighbor takeover: the new subtree may now be the nearest
+        // neighbor (by region distance, the grid's metric) of existing
+        // entries. Only entries whose cached neighbor is *farther* than
+        // the new region can be affected, so a grid range query bounded by
+        // the largest cached distance finds every victim without an O(n)
+        // sweep.
+        let Some(bound) = self.current_max_rd() else {
+            return; // no caches set yet; dirty entries re-query anyway
+        };
+        let mut takeovers: Vec<(usize, f64)> = Vec::new();
+        {
+            let (grid, pos, entries) = (&self.grid, &self.pos, &self.entries);
+            grid.neighbors_within(key, &region, bound, |k, rd| {
+                let Some(&ki) = pos.get(&k) else {
+                    return;
+                };
+                if entries[ki].nn.is_some_and(|nn| rd < nn.region_dist) {
+                    takeovers.push((ki, rd));
+                }
+            });
+        }
+        for (i, rd) in takeovers {
+            let exact = space.distance(self.entries[i].key, key);
+            self.set_nn(space, i, key, rd, exact);
+        }
+    }
+
+    /// The largest cached neighbor distance among live entries, popping
+    /// stale heap tops (re-pointed or consumed keys) on the way.
+    fn current_max_rd(&mut self) -> Option<f64> {
+        while let Some(&(bits, k)) = self.rd_heap.peek() {
+            let live = self.pos.get(&k).is_some_and(|&i| {
+                self.entries[i]
+                    .nn
+                    .is_some_and(|nn| nn.region_dist.to_bits() == bits)
+            });
+            if live {
+                return Some(f64::from_bits(bits));
+            }
+            self.rd_heap.pop();
+        }
+        None
+    }
+
+    /// Amortized grid rebuild: when the active set has halved (stale cell
+    /// size) or region extents have far outgrown the build-time extent
+    /// (stale query bounds), rebuild from the live entries.
+    fn maybe_rebuild(&mut self) {
+        let shrunk = 2 * self.entries.len() <= self.built_len;
+        let outgrown = self.grid.max_extent() > 4.0 * self.built_extent.max(1e-12);
+        if !(shrunk || outgrown) || self.entries.len() < 2 {
+            return;
+        }
+        let items: Vec<(usize, Trr)> = self.entries.iter().map(|e| (e.key, e.region)).collect();
+        self.grid = GridIndex::build(&items);
+        self.built_len = self.entries.len();
+        self.built_extent = self.grid.max_extent();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::tests::Pts;
+    use crate::MergeOrder;
+    use astdme_geom::Point;
+
+    /// A space whose "merge" welds two points into their midpoint,
+    /// appended as a new key.
+    fn midpoint_merge(space: &mut Pts, a: usize, b: usize) -> usize {
+        let m = space.pts.len();
+        let (pa, pb) = (space.pts[a], space.pts[b]);
+        space
+            .pts
+            .push(Point::new(0.5 * (pa.x + pb.x), 0.5 * (pa.y + pb.y)));
+        let d = space.delays[a].max(space.delays[b]);
+        space.delays.push(d);
+        m
+    }
+
+    fn lcg_coords(n: usize, mut s: u64) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let x = ((s >> 16) % 100_000) as f64 / 10.0;
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let y = ((s >> 16) % 100_000) as f64 / 10.0;
+                (x, y)
+            })
+            .collect()
+    }
+
+    /// Runs both planners to completion, asserting identical rounds.
+    fn assert_equivalent(n: usize, seed: u64, cfg: TopoConfig) {
+        let mut space = Pts::new(&lcg_coords(n, seed));
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut planner = MergePlanner::new(&space, &active, cfg);
+        let mut rounds = 0;
+        while active.len() > 1 {
+            let reference = plan_round(&space, &active, &cfg);
+            let incremental = planner.plan_round(&space);
+            assert_eq!(
+                reference, incremental,
+                "divergence at round {rounds} (n={n}, seed={seed})"
+            );
+            for (a, b) in reference {
+                let m = midpoint_merge(&mut space, a, b);
+                // Reference active-set maintenance: same swap-remove
+                // discipline as the planner.
+                for x in [a, b] {
+                    let i = active.iter().position(|&k| k == x).unwrap();
+                    active.swap_remove(i);
+                }
+                active.push(m);
+                planner.apply_merge(&space, a, b, m);
+            }
+            rounds += 1;
+        }
+        assert_eq!(planner.len(), 1);
+        assert_eq!(planner.sole_key(), active[0]);
+    }
+
+    #[test]
+    fn equivalent_to_reference_greedy() {
+        assert_equivalent(80, 11, TopoConfig::greedy());
+    }
+
+    #[test]
+    fn equivalent_to_reference_multimerge() {
+        assert_equivalent(
+            120,
+            5,
+            TopoConfig {
+                order: MergeOrder::MultiMerge { fraction: 0.25 },
+                delay_weight: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    fn equivalent_with_delay_bias() {
+        let coords = lcg_coords(64, 3);
+        let mut space = Pts::new(&coords);
+        for (i, d) in space.delays.iter_mut().enumerate() {
+            *d = (i % 7) as f64 * 1e-13;
+        }
+        let cfg = TopoConfig {
+            order: MergeOrder::GreedyNearest,
+            delay_weight: 5e12,
+        };
+        let mut active: Vec<usize> = (0..64).collect();
+        let mut planner = MergePlanner::new(&space, &active, cfg);
+        while active.len() > 1 {
+            let reference = plan_round(&space, &active, &cfg);
+            assert_eq!(reference, planner.plan_round(&space));
+            for (a, b) in reference {
+                let m = midpoint_merge(&mut space, a, b);
+                for x in [a, b] {
+                    let i = active.iter().position(|&k| k == x).unwrap();
+                    active.swap_remove(i);
+                }
+                active.push(m);
+                planner.apply_merge(&space, a, b, m);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_shrinks_to_sole_survivor() {
+        let mut space = Pts::new(&[(0.0, 0.0), (4.0, 0.0), (10.0, 0.0)]);
+        let mut planner = MergePlanner::new(&space, &[0, 1, 2], TopoConfig::greedy());
+        assert_eq!(planner.len(), 3);
+        assert!(!planner.is_empty());
+        while planner.len() > 1 {
+            let pairs = planner.plan_round(&space);
+            assert!(!pairs.is_empty());
+            for (a, b) in pairs {
+                let m = midpoint_merge(&mut space, a, b);
+                planner.apply_merge(&space, a, b, m);
+            }
+        }
+        assert_eq!(planner.sole_key(), 4);
+    }
+
+    #[test]
+    fn score_bits_orders_like_floats() {
+        let xs = [-1e9, -1.0, -1e-30, -0.0, 0.0, 1e-30, 2.5, 1e12];
+        for w in xs.windows(2) {
+            assert!(score_bits(w[0]) <= score_bits(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inactive key")]
+    fn apply_merge_rejects_stale_keys() {
+        let space = Pts::new(&[(0.0, 0.0), (1.0, 0.0)]);
+        let mut planner = MergePlanner::new(&space, &[0, 1], TopoConfig::greedy());
+        planner.apply_merge(&space, 0, 7, 9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: the incremental [`MergePlanner`] produces the same pair
+//! sequence as the from-scratch [`plan_round`] reference on random
+//! instances, across merge orders and delay bias, all the way from the
+//! grid regime down through the brute-force tail.
+
+use astdme_geom::{Point, Trr};
+use astdme_topo::{plan_round, MergeOrder, MergePlanner, MergeSpace, TopoConfig};
+use proptest::prelude::*;
+
+/// A mergeable space: points that weld into hulls, with delays that grow
+/// by the merge distance (so the delay bias sees evolving values).
+struct Welds {
+    regions: Vec<Trr>,
+    delays: Vec<f64>,
+}
+
+impl Welds {
+    fn new(coords: &[(f64, f64)]) -> Self {
+        Self {
+            regions: coords
+                .iter()
+                .map(|&(x, y)| Trr::from_point(Point::new(x, y)))
+                .collect(),
+            delays: vec![0.0; coords.len()],
+        }
+    }
+
+    /// Registers the merge of `a` and `b`; returns the new key.
+    fn merge(&mut self, a: usize, b: usize) -> usize {
+        let m = self.regions.len();
+        let d = self.regions[a].distance(&self.regions[b]);
+        self.regions.push(self.regions[a].hull(&self.regions[b]));
+        // Proportional to added wire: exercises the delay-target bias.
+        self.delays
+            .push(self.delays[a].max(self.delays[b]) + d * 1e-16);
+        m
+    }
+}
+
+impl MergeSpace for Welds {
+    fn region(&self, id: usize) -> Trr {
+        self.regions[id]
+    }
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        self.regions[a].distance(&self.regions[b])
+    }
+    fn delay(&self, id: usize) -> f64 {
+        self.delays[id]
+    }
+}
+
+fn coords_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    // 2..140 points over a 20k die: spans brute-force-only runs (< 32) and
+    // grid-regime runs, including the regime transition mid-run.
+    (2usize..140, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 16) % 2_000_000) as f64 / 100.0
+        };
+        (0..n).map(|_| (next(), next())).collect()
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = TopoConfig> {
+    let order = prop_oneof![
+        Just(MergeOrder::GreedyNearest),
+        (0.1..0.5f64).prop_map(|fraction| MergeOrder::MultiMerge { fraction }),
+    ];
+    let weight = prop_oneof![Just(0.0), 1e12..1e14f64];
+    (order, weight).prop_map(|(order, delay_weight)| TopoConfig {
+        order,
+        delay_weight,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drives both planners to a single subtree, comparing every round.
+    #[test]
+    fn incremental_matches_from_scratch(coords in coords_strategy(), cfg in config_strategy()) {
+        let mut space = Welds::new(&coords);
+        let mut active: Vec<usize> = (0..coords.len()).collect();
+        let mut planner = MergePlanner::new(&space, &active, cfg);
+        let mut rounds = 0usize;
+        while active.len() > 1 {
+            let reference = plan_round(&space, &active, &cfg);
+            let incremental = planner.plan_round(&space);
+            prop_assert_eq!(
+                &reference,
+                &incremental,
+                "round {} diverged (n={})", rounds, coords.len()
+            );
+            prop_assert!(!reference.is_empty(), "planner must make progress");
+            for (a, b) in reference {
+                let m = space.merge(a, b);
+                // Same swap-remove discipline as the planner's dense set.
+                for x in [a, b] {
+                    let i = active.iter().position(|&k| k == x).expect("active");
+                    active.swap_remove(i);
+                }
+                active.push(m);
+                planner.apply_merge(&space, a, b, m);
+            }
+            rounds += 1;
+        }
+        prop_assert_eq!(planner.len(), 1);
+        prop_assert_eq!(planner.sole_key(), active[0]);
+    }
+
+    /// The planner is deterministic: two independent planners over the
+    /// same instance produce identical sequences.
+    #[test]
+    fn planner_is_deterministic(coords in coords_strategy(), cfg in config_strategy()) {
+        let run = || {
+            let mut space = Welds::new(&coords);
+            let mut planner =
+                MergePlanner::new(&space, &(0..coords.len()).collect::<Vec<_>>(), cfg);
+            let mut log = Vec::new();
+            while planner.len() > 1 {
+                let pairs = planner.plan_round(&space);
+                for (a, b) in pairs {
+                    let m = space.merge(a, b);
+                    planner.apply_merge(&space, a, b, m);
+                    log.push((a, b, m));
+                }
+            }
+            log
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

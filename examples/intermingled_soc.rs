@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example intermingled_soc`
 
 use astdme::instances::{partition, r_benchmark, RBench};
-use astdme::{
-    audit, AstDme, ClockRouter, DelayModel, ExtBst, GreedyDme, StitchPerGroup,
-};
+use astdme::{audit, AstDme, ClockRouter, DelayModel, ExtBst, GreedyDme, StitchPerGroup};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // r1-sized placement (267 sinks), six intermingled domains at the

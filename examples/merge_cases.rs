@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("    ea = {ea:7.1} um -> locus {locus}");
     }
     let m = f.merge(leaves[0], leaves[1]);
-    println!("  engine kept {} candidates across the SDR\n", f.candidates(m).len());
+    println!(
+        "  engine kept {} candidates across the SDR\n",
+        f.candidates(m).len()
+    );
 
     // Case 3 (Fig. 4, instance 1): partially shared groups -> reduced
     // merging region satisfying the shared group's constraint.

@@ -17,7 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let groups = Groups::from_assignments(vec![0, 1, 0, 1, 0, 1, 0, 1], 2)?;
-    let inst = Instance::new(sinks, groups, RcParams::default(), Point::new(5250.0, 5000.0))?;
+    let inst = Instance::new(
+        sinks,
+        groups,
+        RcParams::default(),
+        Point::new(5250.0, 5000.0),
+    )?;
 
     let tree = AstDme::new().route(&inst)?;
     let report = audit(&tree, &inst, &DelayModel::elmore(*inst.rc()));

@@ -28,7 +28,13 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
             .collect();
         // Ensure every group non-empty: first k sinks get groups 0..k.
         let assignment: Vec<usize> = (0..n)
-            .map(|i| if i < k { i } else { (next() * k as f64) as usize % k })
+            .map(|i| {
+                if i < k {
+                    i
+                } else {
+                    (next() * k as f64) as usize % k
+                }
+            })
             .collect();
         Instance::new(
             sinks,

@@ -2,9 +2,7 @@
 //! instances, constraints verified by the independent audit.
 
 use astdme::instances::{partition, r_benchmark, synthetic_instance, RBench};
-use astdme::{
-    audit, AstDme, ClockRouter, DelayModel, ExtBst, GreedyDme, Instance, StitchPerGroup,
-};
+use astdme::{audit, AstDme, ClockRouter, DelayModel, ExtBst, GreedyDme, Instance, StitchPerGroup};
 
 const BOUND: f64 = 10e-12;
 

@@ -1,0 +1,448 @@
+//! Offline vendored shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace's
+//! property tests run against this minimal re-implementation instead of the
+//! real `proptest` crate:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, numeric ranges, tuples,
+//!   [`strategy::Just`], weighted [`prop_oneof!`], `any::<u64>()` and
+//!   `prop::bool::ANY`;
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! seed and case index instead of a minimized input), and the default case
+//! count is 64. Generation is deterministic per test name, so failures
+//! reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategies for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike upstream proptest there is no shrinking: a strategy is just a
+    /// deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + u01 * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            self.start() + u01 * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for core::ops::Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            let span = self.end - self.start;
+            assert!(span > 0, "cannot sample from an empty range");
+            self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as usize)
+        }
+    }
+
+    impl Strategy for core::ops::Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            let span = self.end - self.start;
+            assert!(span > 0, "cannot sample from an empty range");
+            self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as u64)
+        }
+    }
+
+    impl Strategy for core::ops::Range<i64> {
+        type Value = i64;
+        fn generate(&self, rng: &mut TestRng) -> i64 {
+            let span = (self.end - self.start) as u64;
+            assert!(span > 0, "cannot sample from an empty range");
+            self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as i64)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+
+    /// Weighted union over boxed strategies; the engine behind
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Self { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = ((rng.next_u64() as u128 * self.total as u128) >> 64) as u64;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            self.arms.last().expect("non-empty union").1.generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (shim for
+    /// `proptest::arbitrary::Arbitrary`).
+    pub trait ArbitraryValue {
+        /// Generates an arbitrary value of the type.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for u64 {
+        fn arbitrary_value(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl ArbitraryValue for u32 {
+        fn arbitrary_value(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`](crate::any).
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// A strategy generating arbitrary values of `T`.
+        pub const fn new() -> Self {
+            Self(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+/// The test runner: RNG, config, and case outcomes.
+pub mod test_runner {
+    /// Deterministic RNG for value generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates an RNG from a seed.
+        pub fn from_seed(seed: u64) -> Self {
+            Self(seed)
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions were not met; it is skipped, not failed.
+        Reject(String),
+        /// A `prop_assert!` failed.
+        Fail(String),
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (shim for `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; the shim uses 64 to keep debug-mode
+            // `cargo test` runtimes reasonable for the engine-level suites.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Stable per-test seed derived from the test's name (FNV-1a), so runs
+    /// are reproducible without a persistence file.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// The crate itself, so `prop::bool::ANY` style paths resolve.
+    pub use crate as prop;
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    /// Any boolean, uniformly.
+    pub const ANY: crate::strategy::Any<::core::primitive::bool> = crate::strategy::Any::new();
+}
+
+/// A strategy generating arbitrary values of `T` (shim for
+/// `proptest::arbitrary::any`).
+pub fn any<T: strategy::ArbitraryValue>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Weighted or unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) with context on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // `match` rather than `if !cond`: clippy lints negated comparisons
+        // inside macro expansions against the *caller's* crate.
+        match $cond {
+            true => {}
+            false => {
+                return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+            }
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => {
+                return Err($crate::test_runner::TestCaseError::Reject(
+                    stringify!($cond).to_string(),
+                ));
+            }
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item runs `cases` generated inputs through its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = cfg.cases.saturating_mul(16).max(64);
+                while accepted < cfg.cases {
+                    attempts += 1;
+                    if attempts > max_attempts {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                            stringify!($name), accepted, cfg.cases
+                        );
+                    }
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed at case {} (seed {:#x}): {}",
+                            stringify!($name), accepted, seed, msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = f64> {
+        prop_oneof![Just(0.0), 0.0..10.0f64]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.0..2.0f64, n in 3usize..7) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(p in (small(), small()).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..20.0).contains(&p));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0..1.0f64) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_is_respected(b in prop::bool::ANY, u in any::<u64>()) {
+            prop_assert!(u.wrapping_add(1).wrapping_sub(1) == u, "u64 roundtrip");
+            let _ = b;
+        }
+    }
+}

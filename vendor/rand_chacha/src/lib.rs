@@ -1,0 +1,144 @@
+//! Offline vendored shim for the subset of `rand_chacha` this workspace
+//! uses: [`ChaCha12Rng`] seeded via [`rand_core::SeedableRng::seed_from_u64`].
+//!
+//! The generator is a genuine ChaCha12 keystream (12 rounds, RFC 7539 state
+//! layout), so the statistical properties the instance synthesizers rely on
+//! hold. The word stream is not guaranteed to be bit-identical to the
+//! upstream `rand_chacha` crate (upstream's `seed_from_u64` key derivation
+//! is an implementation detail); everything in this workspace only requires
+//! determinism and uniformity, both of which hold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The `rand_core` re-export surface used by callers
+/// (`rand_chacha::rand_core::SeedableRng`).
+pub mod rand_core {
+    /// Deterministic construction from seeds.
+    pub trait SeedableRng: Sized {
+        /// Builds a generator from a 64-bit seed.
+        fn seed_from_u64(seed: u64) -> Self;
+    }
+}
+
+const ROUNDS: usize = 12;
+
+/// A ChaCha12 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    state: [u32; 16],
+    buf: [u32; 16],
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (out, (wi, si)) in self.buf.iter_mut().zip(w.iter().zip(self.state.iter())) {
+            *out = wi.wrapping_add(*si);
+        }
+        // 64-bit block counter in words 12–13.
+        let ctr = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = ctr as u32;
+        self.state[13] = (ctr >> 32) as u32;
+        self.idx = 0;
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha12Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Derive the 256-bit key from the seed with SplitMix64, the same
+        // scheme rand_core documents for default seed expansion.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for i in 0..4 {
+            let v = next();
+            key[2 * i] = v as u32;
+            key[2 * i + 1] = (v >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        state[4..12].copy_from_slice(&key);
+        // Counter (12–13) and nonce (14–15) start at zero.
+        let mut rng = Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl rand::RngCore for ChaCha12Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.idx] as u64;
+        let hi = self.buf[self.idx + 1] as u64;
+        self.idx += 2;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        // Crude sanity: mean of 10k draws of the top bit near 0.5.
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let ones: u32 = (0..10_000).map(|_| (rng.next_u64() >> 63) as u32).sum();
+        assert!((4_500..5_500).contains(&ones), "top-bit ones: {ones}");
+    }
+}
