@@ -11,6 +11,15 @@
 //! * `--quick` — n = 250 only (the CI smoke run);
 //! * `--out`   — output path (default `BENCH_scaling.json`);
 //! * `--sizes` — comma-separated instance sizes overriding the default.
+//!
+//! When built with `--features parallel`, each size additionally gets a
+//! parallel-vs-serial measurement of the engine's candidate-pair
+//! expansion fan-out (incremental planner, greedy order, thorough engine
+//! preset so each merge expands enough pairs to fan out): "parallel" runs
+//! with auto thread count, "serial" forces one thread through
+//! [`astdme_par::set_thread_override`] — byte-for-byte the serial code
+//! path. Both must route identical wirelength; the speedup lands in the
+//! `parallel_speedups` JSON section (≈1.0 on single-core machines).
 
 use std::time::Instant;
 
@@ -36,6 +45,17 @@ struct Measurement {
     order: &'static str,
     seconds: f64,
     merges_per_sec: f64,
+    wirelength_um: f64,
+}
+
+/// One parallel-vs-serial expansion measurement (parallel feature only;
+/// empty otherwise).
+#[derive(Debug, Clone)]
+struct ParMeasurement {
+    n: usize,
+    expansion: &'static str,
+    threads: usize,
+    seconds: f64,
     wirelength_um: f64,
 }
 
@@ -68,15 +88,14 @@ fn route(inst: &Instance, topo: &TopoConfig, from_scratch: bool) -> (f64, f64) {
     (secs, tree.total_wirelength())
 }
 
-fn measure(n: usize) -> Vec<Measurement> {
-    let inst = instance(n);
+fn measure(n: usize, inst: &Instance) -> Vec<Measurement> {
     let mut out = Vec::new();
     for (order_name, topo) in [
         ("greedy", TopoConfig::greedy()),
         ("multi_merge", TopoConfig::default()),
     ] {
         for (planner, from_scratch) in [("incremental", false), ("from_scratch", true)] {
-            let (secs, wl) = route(&inst, &topo, from_scratch);
+            let (secs, wl) = route(inst, &topo, from_scratch);
             eprintln!(
                 "n={n:>6} {order_name:<12} {planner:<13} {secs:>9.3}s  {:>12.0} merges/s  wl {wl:.0}",
                 (n - 1) as f64 / secs
@@ -107,7 +126,75 @@ fn measure(n: usize) -> Vec<Measurement> {
     out
 }
 
-fn to_json(measurements: &[Measurement]) -> String {
+/// Measures the engine's candidate-pair expansion with the parallel
+/// fan-out (auto thread count) against the forced one-thread serial path,
+/// on the incremental planner in greedy order with the thorough engine
+/// preset (enough pairs per merge for the fan-out to engage). Asserts both
+/// route identical wirelength — the determinism the proptests pin down,
+/// witnessed end-to-end at bench scale.
+///
+/// Each variant is timed [`PAR_REPS`] times in alternating order and the
+/// minimum is kept: a single fixed-order sample bakes run-order bias
+/// (allocator/page-cache warmth) into the recorded speedup, which showed
+/// up as phantom 5-30% deltas between byte-identical code paths.
+#[cfg(feature = "parallel")]
+fn measure_parallel(n: usize, inst: &Instance) -> Vec<ParMeasurement> {
+    use std::num::NonZeroUsize;
+    const PAR_REPS: usize = 3;
+    let model = DelayModel::elmore(*inst.rc());
+    let engine = EngineConfig::thorough();
+    let topo = TopoConfig::greedy();
+    let auto_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    // Discarded warmup: the first route after an instance build pays
+    // allocator/page-cache cold-start on top of the per-rep noise.
+    let _ = run_bottom_up(inst, model, engine, &topo);
+    let variants = [("parallel", None), ("serial", NonZeroUsize::new(1))];
+    let mut best = [f64::INFINITY; 2];
+    let mut wl_seen: Option<f64> = None;
+    for _rep in 0..PAR_REPS {
+        for (slot, &(_, threads)) in variants.iter().enumerate() {
+            astdme_par::set_thread_override(threads);
+            let t0 = Instant::now();
+            let (forest, root) = run_bottom_up(inst, model, engine, &topo);
+            let secs = t0.elapsed().as_secs_f64();
+            let tree = forest.embed(root, inst.source());
+            let wl = tree.total_wirelength();
+            match wl_seen {
+                Some(prev) => assert!(
+                    prev == wl,
+                    "parallel expansion diverged at n={n}: {prev} vs {wl}"
+                ),
+                None => wl_seen = Some(wl),
+            }
+            best[slot] = best[slot].min(secs);
+        }
+    }
+    astdme_par::set_thread_override(None);
+    let wl = wl_seen.expect("at least one route ran");
+    variants
+        .iter()
+        .zip(best)
+        .map(|(&(expansion, threads), secs)| {
+            eprintln!(
+                "n={n:>6} expansion {expansion:<8} {secs:>9.3}s  wl {wl:.0} (thorough preset, best of {PAR_REPS})"
+            );
+            ParMeasurement {
+                n,
+                expansion,
+                threads: threads.map_or(auto_threads, NonZeroUsize::get),
+                seconds: secs,
+                wirelength_um: wl,
+            }
+        })
+        .collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn measure_parallel(_n: usize, _inst: &Instance) -> Vec<ParMeasurement> {
+    Vec::new()
+}
+
+fn to_json(measurements: &[Measurement], par: &[ParMeasurement]) -> String {
     let items: Vec<String> = measurements
         .iter()
         .map(|m| {
@@ -149,10 +236,48 @@ fn to_json(measurements: &[Measurement]) -> String {
             }
         }
     }
+    // Parallel-vs-serial candidate-pair expansion (parallel feature only).
+    let par_items: Vec<String> = par
+        .iter()
+        .map(|m| {
+            json::object(
+                &[
+                    json::field("n", format!("{}", m.n)),
+                    json::field("planner", json::quote("incremental")),
+                    json::field("order", json::quote("greedy")),
+                    json::field("engine", json::quote("thorough")),
+                    json::field("expansion", json::quote(m.expansion)),
+                    json::field("threads", format!("{}", m.threads)),
+                    json::field("seconds", json::number(m.seconds)),
+                    json::field("wirelength_um", json::number(m.wirelength_um)),
+                ],
+                4,
+            )
+        })
+        .collect();
+    let mut par_summaries = Vec::new();
+    for &n in &sizes {
+        let find = |expansion: &str| {
+            par.iter()
+                .find(|m| m.n == n && m.expansion == expansion)
+                .map(|m| m.seconds)
+        };
+        if let (Some(p), Some(s)) = (find("parallel"), find("serial")) {
+            par_summaries.push(json::object(
+                &[
+                    json::field("n", format!("{n}")),
+                    json::field("speedup", json::number(s / p)),
+                ],
+                4,
+            ));
+        }
+    }
     format!(
-        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {}\n}}\n",
+        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {},\n  \"parallel_expansion\": {},\n  \"parallel_speedups\": {}\n}}\n",
         json::array(&items, 2),
-        json::array(&summaries, 2)
+        json::array(&summaries, 2),
+        json::array(&par_items, 2),
+        json::array(&par_summaries, 2)
     )
 }
 
@@ -177,10 +302,13 @@ fn main() {
     };
 
     let mut measurements = Vec::new();
+    let mut par_measurements = Vec::new();
     for &n in &sizes {
-        measurements.extend(measure(n));
+        let inst = instance(n);
+        measurements.extend(measure(n, &inst));
+        par_measurements.extend(measure_parallel(n, &inst));
     }
-    let doc = to_json(&measurements);
+    let doc = to_json(&measurements, &par_measurements);
     std::fs::write(&out_path, &doc).expect("write BENCH_scaling.json");
     eprintln!("wrote {out_path}");
 
@@ -192,5 +320,16 @@ fn main() {
             "| {} | {} | {} | {:.3} | {:.0} | {:.0} |",
             m.n, m.order, m.planner, m.seconds, m.merges_per_sec, m.wirelength_um
         );
+    }
+    if !par_measurements.is_empty() {
+        println!();
+        println!("| n | expansion | threads | seconds | wirelength (um) |");
+        println!("|---|-----------|---------|---------|-----------------|");
+        for m in &par_measurements {
+            println!(
+                "| {} | {} | {} | {:.3} | {:.0} |",
+                m.n, m.expansion, m.threads, m.seconds, m.wirelength_um
+            );
+        }
     }
 }

@@ -19,7 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+/// The workspace's JSON helpers, re-exported for the harness binaries.
+///
+/// This used to be a second hand-rolled writer; it is now a thin alias of
+/// [`astdme_json`], so the bench outputs inherit the same escaping and the
+/// same `1e999` policy for infinite values as the instance files.
+pub use astdme_json as json;
 
 use std::time::Instant;
 

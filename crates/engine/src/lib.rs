@@ -25,6 +25,24 @@
 //! continuum* (the number of candidates kept), never in the delay
 //! bookkeeping.
 //!
+//! # Layout
+//!
+//! The merge procedure lives in the `merge/` module tree: `merge::node`
+//! (ids and per-node candidate storage), `merge::context` (the `MergeCtx`
+//! expansion view and candidate overlay), `merge::pairing` (constraint
+//! assembly and pair-cost ranking), `merge::cases` (the Fig. 6 case
+//! analysis), `merge::offset` (class fusing and wire sneaking), and
+//! `merge::embed` (top-down embedding); `merge` itself holds
+//! [`MergeForest`] and the rank → expand → commit orchestration.
+//!
+//! The central discipline: `MergeForest::merge` never hands `&mut self`
+//! to the case analysis. Expansion runs against a `MergeCtx` of shared
+//! borrows plus a private overlay for derived candidates, which is what
+//! lets the `parallel` feature fan candidate-pair expansion out across
+//! threads with bit-identical results (the overlays are committed
+//! deterministically in ranked-pair order afterwards). See the `merge`
+//! module docs for the full map and the commit protocol.
+//!
 //! # Example
 //!
 //! ```
@@ -55,9 +73,9 @@ mod audit;
 mod candidate;
 mod config;
 mod delaymap;
-mod forest;
 mod group;
 mod instance;
+mod merge;
 mod repair;
 mod routed;
 
@@ -65,8 +83,8 @@ pub use audit::{audit, group_ranges, AuditReport};
 pub use candidate::{CandKind, Candidate};
 pub use config::EngineConfig;
 pub use delaymap::{DelayMap, DelayRange};
-pub use forest::{MergeForest, NodeId};
 pub use group::{GroupId, Groups, InstanceError};
 pub use instance::{Instance, Sink};
+pub use merge::{MergeForest, NodeId};
 pub use repair::{repair_group_skew, RepairOutcome};
 pub use routed::{RoutedNode, RoutedTree};

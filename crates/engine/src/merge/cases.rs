@@ -1,0 +1,193 @@
+//! The four merge cases of the paper's Fig. 6, as pure expansions over a
+//! [`MergeCtx`]: feasible-split merging (cases 1–3), snaking when the
+//! δ-window is out of geometric reach, offset adjustment on conflicting
+//! windows (case 4, delegated to [`super::offset`]), and the best-effort
+//! fallback that records a skew residual.
+
+use astdme_delay::{feasible_splits, min_total_for_feasibility, SharedConstraint};
+use astdme_geom::{merge_locus, Interval};
+
+use crate::{CandKind, Candidate};
+
+use super::context::MergeCtx;
+use super::NodeId;
+
+impl MergeCtx<'_> {
+    /// Expands one child-candidate pair into merged candidates. Returns the
+    /// candidates plus the skew residual incurred (0 when solved exactly).
+    ///
+    /// Mutation is confined to the context's overlay (candidates the
+    /// offset-adjustment machinery derives on existing nodes), which is
+    /// what lets `merge` fan expansions out across threads.
+    pub(crate) fn expand_pair(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+    ) -> (Vec<Candidate>, f64) {
+        let cons = self.shared_constraints(a, b, ia, ib);
+        // Cases 1-3 (plus snaking) at the pair as given.
+        if let Some(cands) = self.try_expand_at(a, b, ia, ib, &cons) {
+            return (cands, 0.0);
+        }
+        // Case 4: conflicting δ-windows — only re-balancing inside a child
+        // can align the groups (the paper's wire sneaking, Fig. 5).
+        let debug = self.cfg.debug;
+        if debug {
+            eprintln!(
+                "[conflict] merge {}x{} cands {ia},{ib}: {} shared groups",
+                a.0,
+                b.0,
+                cons.len()
+            );
+            for c in &cons {
+                eprintln!(
+                    "  cons: a=[{:.6e},{:.6e}] b=[{:.6e},{:.6e}] bound={:.1e} spread_a={:.2e} spread_b={:.2e}",
+                    c.lo_a, c.hi_a, c.lo_b, c.hi_b, c.bound,
+                    c.hi_a - c.lo_a, c.hi_b - c.lo_b
+                );
+            }
+        }
+        if let Some((ia2, ib2)) = self.adjust_offsets(a, b, ia, ib) {
+            let cons2 = self.shared_constraints(a, b, ia2, ib2);
+            if let Some(cands) = self.try_expand_at(a, b, ia2, ib2, &cons2) {
+                return (cands, 0.0);
+            }
+        }
+        // Best effort: minimize the worst window violation.
+        if debug {
+            eprintln!("[conflict] -> best_effort");
+        }
+        self.best_effort(a, b, ia, ib, &cons)
+    }
+
+    /// Cases 1-3 plus snaking for one concrete pair: sample the feasible
+    /// splits at the geometric distance, else at the minimum total wire
+    /// that restores feasibility (the snaking detour). `None` means the
+    /// δ-windows conflict outright and case 4 must take over.
+    fn try_expand_at(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        cons: &[SharedConstraint],
+    ) -> Option<Vec<Candidate>> {
+        let (ca, cb) = (self.cand(a, ia), self.cand(b, ib));
+        let d = ca.region.distance(&cb.region);
+        let (cap_a, cap_b) = (ca.cap, cb.cap);
+        let set = feasible_splits(self.model, cap_a, cap_b, d, cons, self.cfg.skew_tol);
+        if !set.is_empty() {
+            return Some(self.sample_candidates(a, b, ia, ib, d, &set));
+        }
+        let t = min_total_for_feasibility(self.model, cap_a, cap_b, d, cons, self.cfg.skew_tol)?;
+        let t = t + (t * 1e-12).max(1e-9);
+        let set = feasible_splits(self.model, cap_a, cap_b, t, cons, self.cfg.skew_tol);
+        (!set.is_empty()).then(|| self.sample_candidates(a, b, ia, ib, t, &set))
+    }
+
+    /// Builds candidates for sampled splits of a feasible set.
+    pub(crate) fn sample_candidates(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        total: f64,
+        set: &astdme_delay::IntervalSet,
+    ) -> Vec<Candidate> {
+        set.sample(self.cfg.split_samples)
+            .into_iter()
+            .map(|ea| {
+                let ea = ea.clamp(0.0, total);
+                self.build_candidate(a, b, ia, ib, ea, total - ea)
+            })
+            .collect()
+    }
+
+    /// Constructs the merged candidate for an explicit wire split.
+    pub(crate) fn build_candidate(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        ea: f64,
+        eb: f64,
+    ) -> Candidate {
+        let (ca, cb) = (self.cand(a, ia), self.cand(b, ib));
+        let da = self.model.wire_delay(ea, ca.cap);
+        let db = self.model.wire_delay(eb, cb.cap);
+        let region = merge_locus(&ca.region, &cb.region, ea, eb)
+            .expect("split must cover the geometric distance");
+        Candidate {
+            region,
+            delays: ca.delays.shifted(da).merge(&cb.delays.shifted(db)),
+            cap: ca.cap + cb.cap + self.model.wire_cap(ea + eb),
+            wirelen: ca.wirelen + cb.wirelen + ea + eb,
+            kind: CandKind::Merge {
+                cand_a: ia,
+                cand_b: ib,
+                ea,
+                eb,
+            },
+        }
+    }
+
+    /// Fallback when offsets cannot be aligned: merge at the δ minimizing
+    /// the worst window violation and record the residual.
+    pub(crate) fn best_effort(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        cons: &[SharedConstraint],
+    ) -> (Vec<Candidate>, f64) {
+        let (ca, cb) = (self.cand(a, ia), self.cand(b, ib));
+        let d = ca.region.distance(&cb.region);
+        // Minimax point over the windows: midpoint of [max lo, min hi].
+        let mut lo_max = f64::NEG_INFINITY;
+        let mut hi_min = f64::INFINITY;
+        for c in cons {
+            // Use the raw ends even if the window itself is inverted/empty.
+            lo_max = lo_max.max(c.hi_b - c.lo_a - c.bound);
+            hi_min = hi_min.min(c.bound + c.lo_b - c.hi_a);
+        }
+        let (delta_hat, residual) = if lo_max.is_finite() && hi_min.is_finite() {
+            (0.5 * (lo_max + hi_min), (0.5 * (lo_max - hi_min)).max(0.0))
+        } else {
+            (0.0, 0.0)
+        };
+        // Realize δ̂ with minimal wire: extend one side if out of range.
+        let (cap_a, cap_b) = (ca.cap, cb.cap);
+        let mut total = d;
+        let delta_max = self.model.wire_delay(d, cap_a);
+        let delta_min = -self.model.wire_delay(d, cap_b);
+        if delta_hat > delta_max {
+            total = self
+                .model
+                .extension_for_delay(delta_hat.max(0.0), cap_a)
+                .max(d);
+        } else if delta_hat < delta_min {
+            total = self
+                .model
+                .extension_for_delay((-delta_hat).max(0.0), cap_b)
+                .max(d);
+        }
+        let diff = self
+            .model
+            .delay_quad(cap_a)
+            .sub(&self.model.delay_quad(cap_b).reflect(total))
+            .add_const(-delta_hat);
+        let ea = diff
+            .monotone_root(Interval::new(0.0, total))
+            .unwrap_or(0.5 * total)
+            .clamp(0.0, total);
+        (
+            vec![self.build_candidate(a, b, ia, ib, ea, total - ea)],
+            residual,
+        )
+    }
+}

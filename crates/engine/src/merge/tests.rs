@@ -1,0 +1,183 @@
+//! Unit tests for the merge module tree (formerly `forest.rs` inline
+//! tests), exercising each Fig. 6 case at the `MergeForest` API level.
+
+use astdme_delay::{DelayModel, RcParams};
+use astdme_geom::Point;
+
+use crate::{CandKind, EngineConfig, GroupId, MergeForest};
+
+fn forest_with(bounds: Vec<f64>) -> MergeForest {
+    MergeForest::new(
+        DelayModel::elmore(RcParams::default()),
+        bounds,
+        EngineConfig::default(),
+    )
+}
+
+fn pt(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+#[test]
+fn leaf_candidates_are_points_at_zero_delay() {
+    let mut f = forest_with(vec![0.0]);
+    let id = f.add_leaf(0, pt(3.0, 4.0), 1e-14, GroupId(0));
+    let c = &f.candidates(id)[0];
+    assert!(c.region.is_point(1e-12));
+    assert_eq!(c.cap, 1e-14);
+    assert_eq!(c.wirelen, 0.0);
+    assert_eq!(c.delays.range(GroupId(0)).unwrap().hi, 0.0);
+}
+
+#[test]
+fn same_group_zero_skew_merge_is_classic_dme() {
+    let mut f = forest_with(vec![0.0]);
+    let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+    let b = f.add_leaf(1, pt(1000.0, 0.0), 1e-14, GroupId(0));
+    let m = f.merge(a, b);
+    for c in f.candidates(m) {
+        // Zero-skew with equal loads: split in half, region is an arc.
+        let CandKind::Merge { ea, eb, .. } = c.kind else {
+            panic!("expected merge provenance")
+        };
+        assert!((ea - 500.0).abs() < 1e-6);
+        assert!((eb - 500.0).abs() < 1e-6);
+        assert!(c.region.is_arc(1e-9));
+        assert!((c.wirelen - 1000.0).abs() < 1e-9);
+        // Both sinks at identical delay.
+        let r = c.delays.range(GroupId(0)).unwrap();
+        assert!(r.spread() < 1e-18);
+    }
+}
+
+#[test]
+fn different_groups_merge_spans_the_sdr() {
+    // Fusion retains only the offset-consistent candidate; the SDR
+    // sweep is visible in the general (unfused) mode.
+    let mut f = MergeForest::new(
+        DelayModel::elmore(RcParams::default()),
+        vec![0.0, 0.0],
+        EngineConfig {
+            fuse_groups: false,
+            ..EngineConfig::default()
+        },
+    );
+    let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+    let b = f.add_leaf(1, pt(800.0, 600.0), 1e-14, GroupId(1));
+    let m = f.merge(a, b);
+    let cands = f.candidates(m);
+    // Multiple sampled splits, all spending exactly the distance.
+    assert!(cands.len() > 1);
+    for c in cands {
+        assert!((c.wirelen - 1400.0).abs() < 1e-6);
+        assert_eq!(c.delays.group_count(), 2);
+    }
+    // The extreme samples touch the child positions.
+    let spans: Vec<f64> = cands
+        .iter()
+        .map(|c| match c.kind {
+            CandKind::Merge { ea, .. } => ea,
+            _ => unreachable!(),
+        })
+        .collect();
+    let min = spans.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = spans.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(min < 1e-6);
+    assert!((max - 1400.0).abs() < 1e-6);
+}
+
+#[test]
+fn bounded_skew_merge_allows_off_balance_splits() {
+    let mut f = MergeForest::new(
+        DelayModel::elmore(RcParams::default()),
+        vec![1e-11],
+        EngineConfig::default(),
+    );
+    let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+    let b = f.add_leaf(1, pt(2000.0, 0.0), 1e-14, GroupId(0));
+    let m = f.merge(a, b);
+    let mut spread_seen = 0.0f64;
+    for c in f.candidates(m) {
+        let r = c.delays.range(GroupId(0)).unwrap();
+        assert!(r.spread() <= 1e-11 + 1e-18);
+        spread_seen = spread_seen.max(r.spread());
+    }
+    assert!(spread_seen > 0.0, "bounded merges should use the slack");
+}
+
+#[test]
+fn unbalanced_zero_skew_merge_snakes() {
+    let mut f = forest_with(vec![0.0]);
+    // A heavy, far subtree vs a nearby light sink: build the heavy one
+    // first out of two distant sinks.
+    let a1 = f.add_leaf(0, pt(0.0, 0.0), 5e-14, GroupId(0));
+    let a2 = f.add_leaf(1, pt(4000.0, 0.0), 5e-14, GroupId(0));
+    let a = f.merge(a1, a2);
+    let b = f.add_leaf(2, pt(2050.0, 10.0), 1e-15, GroupId(0));
+    let m = f.merge(a, b);
+    // b is tiny and close to a's merging arc: zero skew demands more
+    // wire to b than the distance.
+    let c = &f.candidates(m)[0];
+    let CandKind::Merge { ea, eb, .. } = c.kind else {
+        panic!("expected merge")
+    };
+    let d = f
+        .candidates(a)
+        .iter()
+        .map(|ca| ca.region.distance(&f.candidates(b)[0].region))
+        .fold(f64::INFINITY, f64::min);
+    assert!(ea + eb > d + 1.0, "expected a snaking detour");
+    let r = c.delays.range(GroupId(0)).unwrap();
+    assert!(r.spread() < 1e-18);
+}
+
+#[test]
+fn embed_realizes_bookkept_wirelength_and_delays() {
+    let mut f = forest_with(vec![0.0]);
+    let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+    let b = f.add_leaf(1, pt(600.0, 400.0), 2e-14, GroupId(0));
+    let m = f.merge(a, b);
+    let best_wirelen = f.candidates(m)[0].wirelen;
+    let tree = f.embed(m, pt(300.0, 1000.0));
+    // Total wire = subtree wire + source connection.
+    let subtree_wire: f64 = tree
+        .nodes()
+        .iter()
+        .filter(|n| n.parent.is_some())
+        .map(|n| n.wire)
+        .sum();
+    assert!((subtree_wire - best_wirelen).abs() < 1e-6);
+    assert_eq!(tree.sink_nodes().count(), 2);
+}
+
+#[test]
+fn merge_distance_and_representative_region() {
+    let mut f = forest_with(vec![0.0, 0.0]);
+    let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+    let b = f.add_leaf(1, pt(100.0, 0.0), 1e-14, GroupId(1));
+    assert_eq!(f.merge_distance(a, b), 100.0);
+    let m = f.merge(a, b);
+    let rep = f.representative_region(m);
+    for c in f.candidates(m) {
+        assert!(rep.contains_trr(&c.region, 1e-9));
+    }
+}
+
+#[test]
+fn residual_zero_on_clean_instances() {
+    let mut f = forest_with(vec![0.0, 0.0]);
+    let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+    let b = f.add_leaf(1, pt(500.0, 0.0), 1e-14, GroupId(1));
+    let c = f.add_leaf(2, pt(250.0, 400.0), 1e-14, GroupId(0));
+    let ab = f.merge(a, b);
+    let _ = f.merge(ab, c);
+    assert_eq!(f.residual(), 0.0);
+}
+
+#[test]
+#[should_panic(expected = "cannot merge a node with itself")]
+fn merging_self_panics() {
+    let mut f = forest_with(vec![0.0]);
+    let a = f.add_leaf(0, pt(0.0, 0.0), 1e-14, GroupId(0));
+    let _ = f.merge(a, a);
+}

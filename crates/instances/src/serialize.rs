@@ -3,52 +3,44 @@
 //! A small stable format so experiments can be pinned to files and shared:
 //! positions/loads/technology/source plus the group assignment and bounds.
 //!
-//! The (de)serializer is hand-rolled: the build environment vendors no
-//! serde, and the format is a single flat document, so a ~100-line
-//! recursive-descent JSON reader keeps the crate dependency-free.
+//! The JSON primitives (escaping writer, recursive-descent reader, and the
+//! `1e999` policy for infinite values) live in [`astdme_json`], the
+//! workspace's single JSON crate; this module only knows the instance
+//! format itself.
 
 use astdme_core::{Groups, Instance, InstanceError, Point, RcParams, Sink};
-
-/// Formats a float as a JSON number. JSON has no literal for infinity, but
-/// an overflowing exponent is valid number syntax and `f64::from_str`
-/// saturates it back to ±inf, so infinite values (e.g. unbounded skew
-/// bounds) survive a round-trip. NaN stays unrepresentable.
-fn fnum(x: f64) -> String {
-    if x == f64::INFINITY {
-        "1e999".to_string()
-    } else if x == f64::NEG_INFINITY {
-        "-1e999".to_string()
-    } else {
-        format!("{x}")
-    }
-}
+use astdme_json::{number, Value};
 
 /// Serializes an instance to pretty JSON.
+///
+/// Infinite values (e.g. unbounded skew bounds) are written as the
+/// overflowing-but-valid literal `1e999` and survive a round-trip; see
+/// [`astdme_json::number`].
 pub fn to_json(inst: &Instance) -> String {
     let mut s = String::with_capacity(64 * inst.sink_count() + 256);
     s.push_str("{\n");
     s.push_str("  \"format\": \"astdme-instance-v1\",\n");
     s.push_str(&format!(
         "  \"r_per_um\": {},\n",
-        fnum(inst.rc().r_per_um())
+        number(inst.rc().r_per_um())
     ));
     s.push_str(&format!(
         "  \"c_per_um\": {},\n",
-        fnum(inst.rc().c_per_um())
+        number(inst.rc().c_per_um())
     ));
     s.push_str(&format!(
         "  \"source\": [{}, {}],\n",
-        fnum(inst.source().x),
-        fnum(inst.source().y)
+        number(inst.source().x),
+        number(inst.source().y)
     ));
     s.push_str("  \"sinks\": [\n");
     let n = inst.sink_count();
     for (i, sink) in inst.sinks().iter().enumerate() {
         s.push_str(&format!(
             "    {{\"x\": {}, \"y\": {}, \"cap\": {}, \"group\": {}}}{}\n",
-            fnum(sink.pos.x),
-            fnum(sink.pos.y),
-            fnum(sink.cap),
+            number(sink.pos.x),
+            number(sink.pos.y),
+            number(sink.cap),
             inst.group_of(i).index(),
             if i + 1 < n { "," } else { "" }
         ));
@@ -63,7 +55,7 @@ pub fn to_json(inst: &Instance) -> String {
         if i > 0 {
             s.push_str(", ");
         }
-        s.push_str(&fnum(*b));
+        s.push_str(&number(*b));
     }
     s.push_str("]\n}\n");
     s
@@ -76,7 +68,7 @@ pub fn to_json(inst: &Instance) -> String {
 /// Returns a string description for malformed JSON or an
 /// [`InstanceError`]-derived message for semantically invalid content.
 pub fn from_json(s: &str) -> Result<Instance, String> {
-    let doc = json::parse(s)?;
+    let doc = astdme_json::parse(s)?;
     let obj = doc.as_object().ok_or("top level must be an object")?;
     let format = get(obj, "format")?
         .as_str()
@@ -141,14 +133,14 @@ pub fn from_json(s: &str) -> Result<Instance, String> {
     .map_err(err_str)
 }
 
-fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, String> {
+fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
     obj.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing field {key:?}"))
 }
 
-fn num(obj: &[(String, json::Value)], key: &str) -> Result<f64, String> {
+fn num(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
     get(obj, key)?
         .as_number()
         .ok_or_else(|| format!("field {key:?} must be a number"))
@@ -156,247 +148,6 @@ fn num(obj: &[(String, json::Value)], key: &str) -> Result<f64, String> {
 
 fn err_str(e: InstanceError) -> String {
     e.to_string()
-}
-
-/// A minimal JSON reader: parses well-formed documents into a value tree.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// Any JSON number, as `f64`.
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in document order.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-        pub fn as_number(&self) -> Option<f64> {
-            match self {
-                Value::Num(x) => Some(*x),
-                _ => None,
-            }
-        }
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(a) => Some(a),
-                _ => None,
-            }
-        }
-        pub fn as_object(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(o) => Some(o),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parses a complete JSON document.
-    pub fn parse(s: &str) -> Result<Value, String> {
-        let bytes = s.as_bytes();
-        let mut pos = 0;
-        let v = value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        if *pos < b.len() && b[*pos] == c {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", c as char, *pos))
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
-            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
-            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
-            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
-            Some(b'n') => literal(b, pos, "null", Value::Null),
-            Some(_) => number(b, pos),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
-        if b[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("invalid literal at byte {}", *pos))
-        }
-    }
-
-    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'{')?;
-        let mut out = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(out));
-        }
-        loop {
-            skip_ws(b, pos);
-            let key = string(b, pos)?;
-            skip_ws(b, pos);
-            expect(b, pos, b':')?;
-            out.push((key, value(b, pos)?));
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(out));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-            }
-        }
-    }
-
-    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'[')?;
-        let mut out = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(out));
-        }
-        loop {
-            out.push(value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(out));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-            }
-        }
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(b, pos, b'"')?;
-        let mut out = String::new();
-        while let Some(&c) = b.get(*pos) {
-            *pos += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
-                    *pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let code = hex4(b, pos)?;
-                            let c = match code {
-                                // High surrogate: must pair with a low one.
-                                0xD800..=0xDBFF => {
-                                    if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u')
-                                    {
-                                        return Err("unpaired high surrogate".to_string());
-                                    }
-                                    *pos += 2;
-                                    let low = hex4(b, pos)?;
-                                    if !(0xDC00..=0xDFFF).contains(&low) {
-                                        return Err("unpaired high surrogate".to_string());
-                                    }
-                                    let combined =
-                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                    char::from_u32(combined).expect("valid surrogate pair")
-                                }
-                                0xDC00..=0xDFFF => return Err("unpaired low surrogate".to_string()),
-                                _ => char::from_u32(code).expect("non-surrogate BMP code point"),
-                            };
-                            out.push(c);
-                        }
-                        _ => return Err(format!("bad escape \\{}", esc as char)),
-                    }
-                }
-                _ => {
-                    // Re-decode UTF-8 starting at the byte we consumed.
-                    let start = *pos - 1;
-                    let len = utf8_len(c);
-                    let chunk = b
-                        .get(start..start + len)
-                        .ok_or("truncated UTF-8 sequence")?;
-                    let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
-                    out.push_str(s);
-                    *pos = start + len;
-                }
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-
-    /// Reads four hex digits of a `\u` escape (the `\u` already consumed).
-    fn hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
-        let hex = b
-            .get(*pos..*pos + 4)
-            .ok_or("truncated \\u escape")
-            .and_then(|h| std::str::from_utf8(h).map_err(|_| "non-ascii \\u escape"))?;
-        let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
-        *pos += 4;
-        Ok(code)
-    }
-
-    fn utf8_len(first: u8) -> usize {
-        match first {
-            0x00..=0x7F => 1,
-            0xC0..=0xDF => 2,
-            0xE0..=0xEF => 3,
-            _ => 4,
-        }
-    }
-
-    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        }
-        if start == *pos {
-            return Err(format!("invalid value at byte {start}"));
-        }
-        std::str::from_utf8(&b[start..*pos])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Value::Num)
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
 }
 
 #[cfg(test)]
@@ -471,31 +222,5 @@ mod tests {
             "inf must serialize as a JSON number"
         );
         assert_eq!(from_json(&json).unwrap(), inst);
-    }
-
-    #[test]
-    fn string_escapes_decode_surrogate_pairs_and_reject_lone_surrogates() {
-        let v = json::parse(r#""\ud83d\ude00""#).unwrap();
-        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
-        for lone in [r#""\ud83d""#, r#""\ud83dx""#, r#""\ude00""#] {
-            assert!(json::parse(lone).unwrap_err().contains("surrogate"));
-        }
-    }
-
-    #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let v = json::parse(r#"{"a": [1, -2.5e3, "x\n\"y\""], "b": {"c": true}}"#).unwrap();
-        let obj = v.as_object().unwrap();
-        assert_eq!(obj[0].0, "a");
-        let arr = obj[0].1.as_array().unwrap();
-        assert_eq!(arr[1].as_number().unwrap(), -2500.0);
-        assert_eq!(arr[2].as_str().unwrap(), "x\n\"y\"");
-    }
-
-    #[test]
-    fn parser_rejects_malformed_documents() {
-        for bad in ["{", "[1,", "{\"a\" 1}", "\"open", "{} extra", "nul"] {
-            assert!(json::parse(bad).is_err(), "{bad:?} should fail");
-        }
     }
 }

@@ -1,0 +1,403 @@
+//! The workspace's one JSON writer and reader.
+//!
+//! The build environment vendors no serde, and every JSON document in the
+//! workspace is small and flat (instance files, bench records), so a tiny
+//! escaping writer plus a recursive-descent reader keep the whole tree
+//! dependency-free. This crate is a leaf — it depends on nothing — so both
+//! `astdme_instances` and `astdme_bench` (which depends on
+//! `astdme_instances`) can share it.
+//!
+//! # Number policy
+//!
+//! JSON has no literal for infinity, but an overflowing exponent is valid
+//! number syntax and `f64::from_str` saturates it back to ±inf, so
+//! [`number`] emits `1e999` / `-1e999` for infinite values and they survive
+//! a round-trip through [`parse`]. NaN has no such trick; it renders as
+//! `null` (and therefore does **not** round-trip as a number — readers see
+//! [`Value::Null`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Escapes a string for embedding in a JSON document (with quotes).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number.
+///
+/// Infinite values are written as the overflowing-but-valid literals
+/// `1e999` / `-1e999`, which [`parse`] (and any IEEE-754 JSON reader)
+/// saturates back to ±inf — so they round-trip. NaN is unrepresentable as
+/// a JSON number and renders as `null`.
+pub fn number(x: f64) -> String {
+    if x == f64::INFINITY {
+        "1e999".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-1e999".to_string()
+    } else if x.is_nan() {
+        "null".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+/// One `"key": value` field; `value` must already be valid JSON.
+pub fn field(key: &str, value: impl AsRef<str>) -> String {
+    format!("{}: {}", quote(key), value.as_ref())
+}
+
+/// A pretty-printed JSON object from pre-rendered fields, indented by
+/// `indent` spaces.
+pub fn object(fields: &[String], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let inner = " ".repeat(indent + 2);
+    let body = fields
+        .iter()
+        .map(|f| format!("{inner}{f}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{pad}{{\n{body}\n{pad}}}")
+}
+
+/// A pretty-printed JSON array from pre-rendered items.
+pub fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent);
+    format!("[\n{}\n{pad}]", items.join(",\n"))
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a [`Value::Num`].
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Arr`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The fields in document order, if this is a [`Value::Obj`].
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of a [`Value::Obj`] by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with a
+/// byte offset where applicable.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+/// Maximum container nesting [`parse`] accepts. The reader is recursive,
+/// so without a cap a pathological document (`[[[[...`) overflows the
+/// stack and aborts the process instead of returning `Err`. Every real
+/// document in the workspace nests a handful of levels.
+const MAX_DEPTH: usize = 128;
+
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => literal(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        out.push((key, value(b, pos, depth + 1)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(out));
+    }
+    loop {
+        out.push(value(b, pos, depth + 1)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let code = hex4(b, pos)?;
+                        let c = match code {
+                            // High surrogate: must pair with a low one.
+                            0xD800..=0xDBFF => {
+                                if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                    return Err("unpaired high surrogate".to_string());
+                                }
+                                *pos += 2;
+                                let low = hex4(b, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("unpaired high surrogate".to_string());
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined).expect("valid surrogate pair")
+                            }
+                            0xDC00..=0xDFFF => return Err("unpaired low surrogate".to_string()),
+                            _ => char::from_u32(code).expect("non-surrogate BMP code point"),
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(format!("bad escape \\{}", esc as char)),
+                }
+            }
+            _ => {
+                // Re-decode UTF-8 starting at the byte we consumed.
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let chunk = b
+                    .get(start..start + len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+                out.push_str(s);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Reads four hex digits of a `\u` escape (the `\u` already consumed).
+fn hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = b
+        .get(*pos..*pos + 4)
+        .ok_or("truncated \\u escape")
+        .and_then(|h| std::str::from_utf8(h).map_err(|_| "non-ascii \\u escape"))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(format!("invalid value at byte {start}"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("bad number at byte {start}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(number(0.05), "0.05");
+        assert_eq!(number(3.0), "3");
+    }
+
+    #[test]
+    fn non_finite_numbers_follow_the_policy() {
+        assert_eq!(number(f64::INFINITY), "1e999");
+        assert_eq!(number(f64::NEG_INFINITY), "-1e999");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays_nest() {
+        let o = object(&[field("a", number(1.0)), field("b", quote("x"))], 2);
+        let a = array(&[o], 0);
+        assert!(a.contains("\"a\": 1"));
+        assert!(a.starts_with("[\n"));
+        assert!(a.ends_with("\n]"));
+    }
+
+    #[test]
+    fn value_accessors_and_get() {
+        let v = parse(r#"{"a": 1, "b": [true, null], "c": "s"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_number(), Some(1.0));
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.get("b").unwrap().as_array().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert_eq!(v.get("c").unwrap().as_str(), Some("s"));
+        assert!(v.get("missing").is_none());
+    }
+}

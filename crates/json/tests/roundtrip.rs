@@ -1,0 +1,183 @@
+//! Golden round-trip tests for the workspace's single JSON writer/reader.
+//!
+//! Both former writers (`astdme_bench::json` and the hand-rolled
+//! `astdme_instances::serialize` string building) now funnel through this
+//! crate, so the behaviors pinned here — escaping, control characters,
+//! surrogate pairs, the `1e999` infinity policy — are the contract for
+//! every JSON document the workspace produces.
+
+use astdme_json::{array, field, number, object, parse, quote, Value};
+
+/// Writer -> reader round-trip for a string payload.
+fn roundtrip_str(s: &str) -> String {
+    let doc = parse(&quote(s)).expect("quoted string parses");
+    doc.as_str().expect("string value").to_string()
+}
+
+/// Writer -> reader round-trip for a numeric payload.
+fn roundtrip_num(x: f64) -> Value {
+    parse(&number(x)).expect("number renders valid JSON")
+}
+
+#[test]
+fn string_escapes_roundtrip() {
+    for s in [
+        "plain",
+        "quote \" backslash \\ slash /",
+        "newline\n tab\t return\r",
+        "unicode: héllo wörld — ∞ ≠ µ",
+        "emoji beyond the BMP: \u{1F600}\u{1F680}",
+        "",
+    ] {
+        assert_eq!(roundtrip_str(s), s, "{s:?} must round-trip");
+    }
+}
+
+#[test]
+fn control_characters_roundtrip_via_u_escapes() {
+    // Every C0 control character must be escaped on write and decoded on
+    // read; raw control bytes are never emitted.
+    for code in 0u32..0x20 {
+        let c = char::from_u32(code).unwrap();
+        let s = format!("a{c}b");
+        let quoted = quote(&s);
+        assert!(
+            quoted.bytes().all(|b| (0x20..0x7f).contains(&b)),
+            "quote({code:#x}) must emit printable ASCII only: {quoted:?}"
+        );
+        // \n, \t, \r use short escapes; everything else \u00XX. Either way
+        // the reader restores the exact character.
+        assert_eq!(roundtrip_str(&s), s, "control {code:#04x} must round-trip");
+    }
+}
+
+#[test]
+fn surrogate_pair_escapes_decode_and_lone_surrogates_fail() {
+    // Escaped \uXXXX\uXXXX pairs exercise the surrogate-combining branch
+    // of the reader; the raw literals exercise the plain UTF-8 branch.
+    let v = parse(r#""\ud83d\ude00""#).unwrap();
+    assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+    let v = parse(r#""\ud83e\udd80 and \ud83d\ude80""#).unwrap();
+    assert_eq!(v.as_str().unwrap(), "\u{1F980} and \u{1F680}");
+    let v = parse("\"\u{1F680} raw and \u{1F980} mixed\"").unwrap();
+    assert_eq!(v.as_str().unwrap(), "\u{1F680} raw and \u{1F980} mixed");
+    for lone in [r#""\ud83d""#, r#""\ud83dx""#, r#""\ud83dA""#, r#""\ude00""#] {
+        assert!(
+            parse(lone).unwrap_err().contains("surrogate"),
+            "{lone} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn infinities_roundtrip_as_overflowing_literals() {
+    assert_eq!(number(f64::INFINITY), "1e999");
+    assert_eq!(number(f64::NEG_INFINITY), "-1e999");
+    assert_eq!(
+        roundtrip_num(f64::INFINITY).as_number(),
+        Some(f64::INFINITY)
+    );
+    assert_eq!(
+        roundtrip_num(f64::NEG_INFINITY).as_number(),
+        Some(f64::NEG_INFINITY)
+    );
+    // NaN is unrepresentable: it becomes null, visibly, not a panic and
+    // not an invalid token.
+    assert_eq!(number(f64::NAN), "null");
+    assert_eq!(roundtrip_num(f64::NAN), Value::Null);
+}
+
+#[test]
+fn finite_numbers_roundtrip_exactly() {
+    for x in [
+        0.0,
+        -0.0,
+        1.0,
+        -2.5e3,
+        0.05,
+        f64::MIN,
+        f64::MAX,
+        f64::MIN_POSITIVE,
+        5e-324,
+        1.0 / 3.0,
+        2086311.4142856593,
+    ] {
+        let back = roundtrip_num(x).as_number().expect("stays a number");
+        assert_eq!(
+            back.to_bits(),
+            x.to_bits(),
+            "{x:e} must round-trip bit-exactly"
+        );
+    }
+}
+
+#[test]
+fn nested_arrays_and_objects_roundtrip() {
+    let inner = object(
+        &[
+            field("name", quote("r1 \"quoted\"")),
+            field("bound", number(f64::INFINITY)),
+            field("xs", array(&[number(1.0), number(-2.5)], 6)),
+        ],
+        4,
+    );
+    let doc = object(
+        &[
+            field("format", quote("golden-v1")),
+            field("rows", array(&[inner.clone(), inner], 2)),
+            field("empty", array(&[], 0)),
+        ],
+        0,
+    );
+    let v = parse(&doc).expect("nested document parses");
+    let rows = v.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 2);
+    for row in rows {
+        assert_eq!(row.get("name").unwrap().as_str(), Some("r1 \"quoted\""));
+        assert_eq!(row.get("bound").unwrap().as_number(), Some(f64::INFINITY));
+        let xs = row.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs[0].as_number(), Some(1.0));
+        assert_eq!(xs[1].as_number(), Some(-2.5));
+    }
+    assert_eq!(v.get("empty").unwrap().as_array().unwrap().len(), 0);
+}
+
+#[test]
+fn reader_caps_nesting_depth_instead_of_overflowing() {
+    // A recursive reader without a depth cap aborts the whole process with
+    // a stack overflow on `[[[[...` — from_json reads instance files, so
+    // hostile input must produce Err, not a crash.
+    let deep = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+    assert!(parse(&deep(100)).is_ok(), "reasonable nesting parses");
+    let err = parse(&deep(100_000)).unwrap_err();
+    assert!(err.contains("nesting"), "got: {err}");
+    let objs = format!("{}1{}", "{\"k\": ".repeat(100_000), "}".repeat(100_000));
+    assert!(parse(&objs).unwrap_err().contains("nesting"));
+}
+
+#[test]
+fn reader_rejects_malformed_documents() {
+    for bad in [
+        "{",
+        "[1,",
+        "{\"a\" 1}",
+        "\"open",
+        "{} extra",
+        "nul",
+        "[1 2]",
+        "{\"a\": }",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} should fail");
+    }
+}
+
+#[test]
+fn reader_handles_escapes_and_mixed_nesting() {
+    let v = parse(r#"{"a": [1, -2.5e3, "x\n\"y\""], "b": {"c": true}}"#).unwrap();
+    let obj = v.as_object().unwrap();
+    assert_eq!(obj[0].0, "a");
+    let arr = obj[0].1.as_array().unwrap();
+    assert_eq!(arr[1].as_number().unwrap(), -2500.0);
+    assert_eq!(arr[2].as_str().unwrap(), "x\n\"y\"");
+    assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+}

@@ -11,11 +11,44 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-global thread-count override (0 = none / auto).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces every subsequent [`par_map`] / [`par_map_with`] call to use
+/// exactly `n` threads instead of `available_parallelism` (`None` restores
+/// auto). `Some(1)` runs the serial fallback — byte-for-byte the code path
+/// a build without any parallelism takes.
+///
+/// Results are thread-count invariant by construction (outputs are
+/// reassembled in input order), so this knob only changes *scheduling*:
+/// the determinism tests sweep it to prove exactly that, and the scaling
+/// bench uses it for its parallel-vs-serial measurement. Process-global;
+/// concurrent tests that flip it should serialize on a lock.
+pub fn set_thread_override(n: Option<NonZeroUsize>) {
+    THREAD_OVERRIDE.store(n.map_or(0, NonZeroUsize::get), Ordering::SeqCst);
+}
+
+/// The active thread-count override, if any.
+pub fn thread_override() -> Option<NonZeroUsize> {
+    NonZeroUsize::new(THREAD_OVERRIDE.load(Ordering::SeqCst))
+}
+
+/// `available_parallelism`, read once per process. The std call is not
+/// cheap on Linux (it re-reads cgroup quota files every time), and the
+/// merge engine calls [`par_map`] once per merge — uncached, the lookup
+/// alone cost ~2x on single-core machines.
+fn auto_threads() -> usize {
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
 
 /// Maps `f` over `items`, in order, using up to `available_parallelism`
-/// threads. Inputs shorter than `min_len` (or single-core machines) run
-/// serially. Results are returned in input order regardless of scheduling,
-/// so output is deterministic.
+/// threads (or the [`set_thread_override`] count, when set). Inputs shorter
+/// than `min_len` (or single-core machines) run serially. Results are
+/// returned in input order regardless of scheduling, so output is
+/// deterministic.
 pub fn par_map<T, R, F>(items: &[T], min_len: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -40,9 +73,7 @@ where
     R: Send,
     F: Fn(&mut C, &T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let threads = thread_override().map_or_else(auto_threads, NonZeroUsize::get);
     if items.len() < min_len.max(2) || threads < 2 {
         let mut ctx = make_ctx();
         return items.iter().map(|item| f(&mut ctx, item)).collect();
@@ -73,6 +104,26 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Tests touching the process-global override (or asserting worker
+    /// counts, which the override perturbs) serialize on this lock.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn thread_override_is_respected_and_results_invariant() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let items: Vec<u64> = (0..500).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        for n in [1usize, 2, 3, 8] {
+            set_thread_override(NonZeroUsize::new(n));
+            assert_eq!(thread_override(), NonZeroUsize::new(n));
+            assert_eq!(par_map(&items, 0, |x| x * 7), expected, "threads = {n}");
+        }
+        set_thread_override(None);
+        assert_eq!(thread_override(), None);
+        assert_eq!(par_map(&items, 0, |x| x * 7), expected);
+    }
 
     #[test]
     fn preserves_order_and_values() {
@@ -96,7 +147,7 @@ mod tests {
 
     #[test]
     fn par_map_with_reuses_one_context_per_worker() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let items: Vec<u64> = (0..10_000).collect();
         let contexts = AtomicUsize::new(0);
         let out = par_map_with(

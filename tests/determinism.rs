@@ -73,6 +73,42 @@ fn all_routers_are_deterministic() {
     }
 }
 
+/// With the `parallel` feature, the engine fans candidate-pair expansion
+/// and cost estimation out via `astdme_par`. The routed tree must not
+/// depend on how many threads that fan-out uses — forcing one thread runs
+/// byte-for-byte the serial code path, so comparing against it asserts
+/// "with and without the parallel feature" inside a single build.
+#[cfg(feature = "parallel")]
+mod parallel_expansion {
+    use super::*;
+    use proptest::prelude::*;
+    use std::num::NonZeroUsize;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn routed_trees_are_identical_across_thread_counts(
+            n in 20usize..90,
+            k in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let inst = instance(n, k, seed);
+            let router = AstDme::new();
+            astdme_par::set_thread_override(NonZeroUsize::new(1));
+            let serial = router.route(&inst).expect("routes");
+            for threads in [2usize, 4] {
+                astdme_par::set_thread_override(NonZeroUsize::new(threads));
+                let par = router.route(&inst).expect("routes");
+                assert_identical(&serial, &par);
+            }
+            astdme_par::set_thread_override(None);
+            let auto = router.route(&inst).expect("routes");
+            assert_identical(&serial, &auto);
+        }
+    }
+}
+
 #[test]
 fn incremental_planner_routes_identically_to_from_scratch() {
     // Big enough that the whole grid regime, the brute-force tail, and
