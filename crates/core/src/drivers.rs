@@ -47,6 +47,11 @@ impl MergeSpace for ForestSpace<'_> {
 /// remains, merging pairs chosen by the incremental
 /// [`MergePlanner`] each round.
 ///
+/// Each round's merges are reported back in one batch
+/// ([`MergePlanner::apply_round`]), so the planner runs a single
+/// maintenance sweep per round instead of per merge — the difference that
+/// makes multi-merge ordering profitable under the incremental planner.
+///
 /// Returns the surviving root. `start` must be non-empty; a single node is
 /// returned unchanged.
 pub fn merge_until_one(forest: &mut MergeForest, start: Vec<NodeId>, topo: &TopoConfig) -> NodeId {
@@ -55,14 +60,40 @@ pub fn merge_until_one(forest: &mut MergeForest, start: Vec<NodeId>, topo: &Topo
         return start[0];
     }
     let keys: Vec<usize> = start.iter().map(|n| n.index()).collect();
+    // Phase timing is gated on the env var so the unprofiled hot loop pays
+    // no clock reads (greedy runs one round per merge).
+    let profile = std::env::var_os("ASTDME_PROFILE").is_some();
+    let clock = |on: bool| on.then(std::time::Instant::now);
+    let lap = |t: Option<std::time::Instant>, acc: &mut f64| {
+        if let Some(t) = t {
+            *acc += t.elapsed().as_secs_f64();
+        }
+    };
+    let (mut t_new, mut t_plan, mut t_engine, mut t_apply) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let t0 = clock(profile);
     let mut planner = MergePlanner::new(&ForestSpace::new(forest), &keys, *topo);
+    lap(t0, &mut t_new);
+    let mut round: Vec<(usize, usize, usize)> = Vec::new();
     while planner.len() > 1 {
+        let t0 = clock(profile);
         let pairs = planner.plan_round(&ForestSpace::new(forest));
+        lap(t0, &mut t_plan);
         assert!(!pairs.is_empty(), "planner must make progress");
+        round.clear();
+        let t0 = clock(profile);
         for (a, b) in pairs {
             let m = forest.merge(NodeId::from_index(a), NodeId::from_index(b));
-            planner.apply_merge(&ForestSpace::new(forest), a, b, m.index());
+            round.push((a, b, m.index()));
         }
+        lap(t0, &mut t_engine);
+        let t0 = clock(profile);
+        planner.apply_round(&ForestSpace::new(forest), &round);
+        lap(t0, &mut t_apply);
+    }
+    if profile {
+        eprintln!(
+            "[profile] new {t_new:.4}s plan {t_plan:.4}s engine {t_engine:.4}s apply {t_apply:.4}s"
+        );
     }
     NodeId::from_index(planner.sole_key())
 }

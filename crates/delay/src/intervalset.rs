@@ -28,10 +28,65 @@ use astdme_geom::Interval;
 ///     Interval::new(5.0, 5.5),
 /// ]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Clone, Default)]
 pub struct IntervalSet {
     /// Disjoint intervals in ascending order.
-    parts: Vec<Interval>,
+    parts: Parts,
+}
+
+/// Inline capacity of an [`IntervalSet`]: the feasible-split sets the
+/// engine builds per candidate pair are empty or a single interval almost
+/// always (one δ-window), occasionally two after a subtraction — keeping
+/// them off the heap removes an allocation from every pair expansion.
+const INLINE_PARTS: usize = 2;
+
+/// Small-set storage: inline array for the common case, heap spill beyond
+/// [`INLINE_PARTS`].
+#[derive(Clone)]
+enum Parts {
+    Inline(u8, [Interval; INLINE_PARTS]),
+    Heap(Vec<Interval>),
+}
+
+impl Parts {
+    fn as_slice(&self) -> &[Interval] {
+        match self {
+            Parts::Inline(n, buf) => &buf[..*n as usize],
+            Parts::Heap(v) => v,
+        }
+    }
+
+    /// Appends an interval, spilling to the heap at capacity. Callers keep
+    /// the ascending-disjoint invariant themselves.
+    fn push(&mut self, iv: Interval) {
+        match self {
+            Parts::Inline(n, buf) => {
+                if (*n as usize) < INLINE_PARTS {
+                    buf[*n as usize] = iv;
+                    *n += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_PARTS * 2);
+                    v.extend_from_slice(buf);
+                    v.push(iv);
+                    *self = Parts::Heap(v);
+                }
+            }
+            Parts::Heap(v) => v.push(iv),
+        }
+    }
+
+    fn last_mut(&mut self) -> Option<&mut Interval> {
+        match self {
+            Parts::Inline(n, buf) => buf[..*n as usize].last_mut(),
+            Parts::Heap(v) => v.last_mut(),
+        }
+    }
+}
+
+impl Default for Parts {
+    fn default() -> Self {
+        Parts::Inline(0, [Interval::new(0.0, 0.0); INLINE_PARTS])
+    }
 }
 
 impl IntervalSet {
@@ -44,14 +99,16 @@ impl IntervalSet {
     /// A single-interval set.
     #[inline]
     pub fn single(iv: Interval) -> Self {
-        Self { parts: vec![iv] }
+        let mut parts = Parts::default();
+        parts.push(iv);
+        Self { parts }
     }
 
     /// Builds a set from arbitrary intervals, sorting and coalescing
     /// overlapping or touching ones.
     pub fn from_intervals(mut ivs: Vec<Interval>) -> Self {
         ivs.sort_by(|a, b| a.lo().partial_cmp(&b.lo()).expect("no NaN intervals"));
-        let mut parts: Vec<Interval> = Vec::with_capacity(ivs.len());
+        let mut parts = Parts::default();
         for iv in ivs {
             match parts.last_mut() {
                 Some(last) if iv.lo() <= last.hi() => {
@@ -63,43 +120,50 @@ impl IntervalSet {
         Self { parts }
     }
 
+    /// The intervals as an ascending slice.
+    #[inline]
+    fn as_slice(&self) -> &[Interval] {
+        self.parts.as_slice()
+    }
+
     /// Returns `true` if the set contains no points.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.parts.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Iterates the disjoint intervals in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
-        self.parts.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Total measure (sum of interval lengths).
     pub fn measure(&self) -> f64 {
-        self.parts.iter().map(Interval::len).sum()
+        self.as_slice().iter().map(Interval::len).sum()
     }
 
     /// Smallest element, if non-empty.
     pub fn min(&self) -> Option<f64> {
-        self.parts.first().map(Interval::lo)
+        self.as_slice().first().map(Interval::lo)
     }
 
     /// Largest element, if non-empty.
     pub fn max(&self) -> Option<f64> {
-        self.parts.last().map(Interval::hi)
+        self.as_slice().last().map(Interval::hi)
     }
 
     /// Returns `true` if `x` belongs to the set (within `tol`).
     pub fn contains(&self, x: f64, tol: f64) -> bool {
-        self.parts.iter().any(|iv| iv.contains(x, tol))
+        self.as_slice().iter().any(|iv| iv.contains(x, tol))
     }
 
     /// The set-intersection with `other`.
     pub fn intersect(&self, other: &Self) -> Self {
+        let (sa, sb) = (self.as_slice(), other.as_slice());
         let (mut i, mut j) = (0, 0);
-        let mut parts = Vec::new();
-        while i < self.parts.len() && j < other.parts.len() {
-            let (a, b) = (self.parts[i], other.parts[j]);
+        let mut parts = Parts::default();
+        while i < sa.len() && j < sb.len() {
+            let (a, b) = (sa[i], sb[j]);
             if let Some(o) = a.intersect(&b) {
                 parts.push(o);
             }
@@ -114,14 +178,14 @@ impl IntervalSet {
 
     /// The union with `other`.
     pub fn union(&self, other: &Self) -> Self {
-        let mut all = self.parts.clone();
-        all.extend_from_slice(&other.parts);
+        let mut all = self.as_slice().to_vec();
+        all.extend_from_slice(other.as_slice());
         Self::from_intervals(all)
     }
 
     /// The element of the set nearest to `x`, if non-empty.
     pub fn nearest(&self, x: f64) -> Option<f64> {
-        self.parts.iter().map(|iv| iv.clamp(x)).min_by(|a, b| {
+        self.as_slice().iter().map(|iv| iv.clamp(x)).min_by(|a, b| {
             (a - x)
                 .abs()
                 .partial_cmp(&(b - x).abs())
@@ -136,12 +200,17 @@ impl IntervalSet {
     /// Returns at least one point per interval (its midpoint) even when
     /// `k` is small; degenerate intervals contribute their single point.
     pub fn sample(&self, k: usize) -> Vec<f64> {
-        if self.parts.is_empty() {
-            return Vec::new();
-        }
-        let total = self.measure();
         let mut out = Vec::new();
-        for iv in &self.parts {
+        self.sample_into(k, &mut out);
+        out
+    }
+
+    /// [`IntervalSet::sample`] into a reused buffer (cleared first) — the
+    /// engine's candidate-sampling hot path.
+    pub fn sample_into(&self, k: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let total = self.measure();
+        for iv in self.as_slice() {
             if iv.len() == 0.0 || total == 0.0 {
                 out.push(iv.mid());
                 continue;
@@ -155,7 +224,20 @@ impl IntervalSet {
                 }
             }
         }
-        out
+    }
+}
+
+impl PartialEq for IntervalSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IntervalSet")
+            .field("parts", &self.as_slice())
+            .finish()
     }
 }
 
@@ -167,10 +249,10 @@ impl FromIterator<Interval> for IntervalSet {
 
 impl fmt::Display for IntervalSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.parts.is_empty() {
+        if self.is_empty() {
             return write!(f, "{{}}");
         }
-        for (i, iv) in self.parts.iter().enumerate() {
+        for (i, iv) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, " U ")?;
             }

@@ -57,6 +57,77 @@ impl fmt::Display for DelayRange {
     }
 }
 
+/// One `(group, range)` entry of a [`DelayMap`].
+type Entry = (GroupId, DelayRange);
+
+/// Inline capacity of a [`DelayMap`]: maps at or below this many groups
+/// live entirely on the stack. Instances carry a handful of groups (the
+/// paper's tables use 2–6), and a subtree's map can only ever hold groups
+/// that actually reach it, so spills are rare even on unusual workloads.
+const INLINE_GROUPS: usize = 4;
+
+/// Small-map storage: inline array for the common case, heap spill beyond
+/// [`INLINE_GROUPS`]. Keeping candidates' delay maps off the heap removes
+/// one allocation per candidate from the merge hot path.
+#[derive(Clone)]
+enum Store {
+    Inline(u8, [Entry; INLINE_GROUPS]),
+    Heap(Vec<Entry>),
+}
+
+impl Store {
+    const EMPTY_ENTRY: Entry = (GroupId(0), DelayRange { lo: 0.0, hi: 0.0 });
+
+    fn as_slice(&self) -> &[Entry] {
+        match self {
+            Store::Inline(n, buf) => &buf[..*n as usize],
+            Store::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [Entry] {
+        match self {
+            Store::Inline(n, buf) => &mut buf[..*n as usize],
+            Store::Heap(v) => v,
+        }
+    }
+
+    /// Appends an entry, spilling to the heap at capacity. Callers keep
+    /// ascending group order themselves.
+    fn push(&mut self, e: Entry) {
+        match self {
+            Store::Inline(n, buf) => {
+                if (*n as usize) < INLINE_GROUPS {
+                    buf[*n as usize] = e;
+                    *n += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_GROUPS * 2);
+                    v.extend_from_slice(buf);
+                    v.push(e);
+                    *self = Store::Heap(v);
+                }
+            }
+            Store::Heap(v) => v.push(e),
+        }
+    }
+
+    fn from_vec(v: Vec<Entry>) -> Self {
+        if v.len() <= INLINE_GROUPS {
+            let mut buf = [Self::EMPTY_ENTRY; INLINE_GROUPS];
+            buf[..v.len()].copy_from_slice(&v);
+            Store::Inline(v.len() as u8, buf)
+        } else {
+            Store::Heap(v)
+        }
+    }
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::Inline(0, [Self::EMPTY_ENTRY; INLINE_GROUPS])
+    }
+}
+
 /// Sorted map from [`GroupId`] to [`DelayRange`]: for every group with at
 /// least one sink in the subtree, the exact interval of root-to-sink
 /// delays.
@@ -64,6 +135,11 @@ impl fmt::Display for DelayRange {
 /// This is the state that makes associative-skew merging compositional:
 /// the four merge cases of the paper's Fig. 6 reduce to which groups two
 /// maps share.
+///
+/// Maps of up to [`INLINE_GROUPS`] groups are stored inline (no heap
+/// allocation); larger maps spill to a `Vec` transparently. Since every
+/// merge candidate carries a map, this keeps candidate construction — the
+/// engine's innermost loop — allocation-free for realistic group counts.
 ///
 /// ```
 /// use astdme_engine::{DelayMap, DelayRange, GroupId};
@@ -75,18 +151,19 @@ impl fmt::Display for DelayRange {
 /// assert_eq!(m.range(GroupId(0)).unwrap().lo, 1e-12);
 /// assert_eq!(m.range(GroupId(1)).unwrap().hi, 2e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Clone, Default)]
 pub struct DelayMap {
-    // Sorted by GroupId; typically 1-4 entries, so a Vec beats any map.
-    entries: Vec<(GroupId, DelayRange)>,
+    // Sorted by GroupId; typically 1-4 entries, so a flat store beats any
+    // tree or hash map.
+    entries: Store,
 }
 
 impl DelayMap {
     /// The map of a leaf subtree: one group at delay zero.
     pub fn leaf(g: GroupId) -> Self {
-        Self {
-            entries: vec![(g, DelayRange::point(0.0))],
-        }
+        let mut entries = Store::default();
+        entries.push((g, DelayRange::point(0.0)));
+        Self { entries }
     }
 
     /// Builds from entries, sorting by group.
@@ -94,92 +171,113 @@ impl DelayMap {
     /// # Panics
     ///
     /// Panics if a group appears twice.
-    pub fn from_entries(mut entries: Vec<(GroupId, DelayRange)>) -> Self {
+    pub fn from_entries(mut entries: Vec<Entry>) -> Self {
         entries.sort_by_key(|(g, _)| *g);
         for w in entries.windows(2) {
             assert!(w[0].0 != w[1].0, "duplicate group {} in delay map", w[0].0);
         }
-        Self { entries }
+        Self {
+            entries: Store::from_vec(entries),
+        }
+    }
+
+    /// The entries as a sorted slice.
+    #[inline]
+    fn as_slice(&self) -> &[Entry] {
+        self.entries.as_slice()
     }
 
     /// The delay range for group `g`, if present.
     pub fn range(&self, g: GroupId) -> Option<DelayRange> {
-        self.entries
-            .binary_search_by_key(&g, |(gg, _)| *gg)
+        let s = self.as_slice();
+        s.binary_search_by_key(&g, |(gg, _)| *gg)
             .ok()
-            .map(|i| self.entries[i].1)
+            .map(|i| s[i].1)
     }
 
     /// Iterates `(group, range)` pairs in ascending group order.
     pub fn iter(&self) -> impl Iterator<Item = (GroupId, DelayRange)> + '_ {
-        self.entries.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Iterates the groups present.
     pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
-        self.entries.iter().map(|(g, _)| *g)
+        self.as_slice().iter().map(|(g, _)| *g)
     }
 
     /// Number of groups present.
     #[inline]
     pub fn group_count(&self) -> usize {
-        self.entries.len()
+        self.as_slice().len()
     }
 
     /// All ranges shifted by a common wire delay `d` (the effect of the
     /// wire from a new merge point down to this subtree's root).
     pub fn shifted(&self, d: f64) -> Self {
-        Self {
-            entries: self.entries.iter().map(|(g, r)| (*g, r.shift(d))).collect(),
+        let mut out = self.clone();
+        for (_, r) in out.entries.as_mut_slice() {
+            *r = r.shift(d);
         }
+        out
     }
 
     /// Groups present in both maps, ascending — the "shared groups" that
     /// constrain a merge (empty ⇒ the paper's different-groups case).
     pub fn shared_groups(&self, other: &Self) -> Vec<GroupId> {
+        self.shared_ranges(other).map(|(g, _, _)| g).collect()
+    }
+
+    /// Iterates `(group, range in self, range in other)` over the groups
+    /// present in both maps, ascending — the allocation-free form of
+    /// [`DelayMap::shared_groups`] the constraint-assembly hot path uses.
+    pub fn shared_ranges<'a>(
+        &'a self,
+        other: &'a Self,
+    ) -> impl Iterator<Item = (GroupId, DelayRange, DelayRange)> + 'a {
+        let (a, b) = (self.as_slice(), other.as_slice());
         let (mut i, mut j) = (0, 0);
-        let mut out = Vec::new();
-        while i < self.entries.len() && j < other.entries.len() {
-            match self.entries[i].0.cmp(&other.entries[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(self.entries[i].0);
-                    i += 1;
-                    j += 1;
+        std::iter::from_fn(move || {
+            while i < a.len() && j < b.len() {
+                match a[i].0.cmp(&b[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let out = (a[i].0, a[i].1, b[j].1);
+                        i += 1;
+                        j += 1;
+                        return Some(out);
+                    }
                 }
             }
-        }
-        out
+            None
+        })
     }
 
     /// Merges two maps (ranges hulled for shared groups). Callers are
     /// responsible for shifting each side by its wire delay first.
     pub fn merge(&self, other: &Self) -> Self {
+        let (a, b) = (self.as_slice(), other.as_slice());
         let (mut i, mut j) = (0, 0);
-        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
-        while i < self.entries.len() || j < other.entries.len() {
-            if j >= other.entries.len() {
-                entries.push(self.entries[i]);
+        let mut entries = Store::default();
+        while i < a.len() || j < b.len() {
+            if j >= b.len() {
+                entries.push(a[i]);
                 i += 1;
-            } else if i >= self.entries.len() {
-                entries.push(other.entries[j]);
+            } else if i >= a.len() {
+                entries.push(b[j]);
                 j += 1;
             } else {
-                match self.entries[i].0.cmp(&other.entries[j].0) {
+                match a[i].0.cmp(&b[j].0) {
                     std::cmp::Ordering::Less => {
-                        entries.push(self.entries[i]);
+                        entries.push(a[i]);
                         i += 1;
                     }
                     std::cmp::Ordering::Greater => {
-                        entries.push(other.entries[j]);
+                        entries.push(b[j]);
                         j += 1;
                     }
                     std::cmp::Ordering::Equal => {
-                        entries.push((
-                            self.entries[i].0,
-                            self.entries[i].1.hull(&other.entries[j].1),
-                        ));
+                        entries.push((a[i].0, a[i].1.hull(&b[j].1)));
                         i += 1;
                         j += 1;
                     }
@@ -191,7 +289,7 @@ impl DelayMap {
 
     /// The largest spread across all groups (for invariant checks).
     pub fn max_spread(&self) -> f64 {
-        self.entries
+        self.as_slice()
             .iter()
             .map(|(_, r)| r.spread())
             .fold(0.0, f64::max)
@@ -199,17 +297,13 @@ impl DelayMap {
 
     /// Extremes over all groups: `(min lo, max hi)`, or `None` if empty.
     pub fn overall_range(&self) -> Option<DelayRange> {
-        let lo = self
-            .entries
-            .iter()
-            .map(|(_, r)| r.lo)
-            .fold(f64::INFINITY, f64::min);
-        let hi = self
-            .entries
+        let s = self.as_slice();
+        let lo = s.iter().map(|(_, r)| r.lo).fold(f64::INFINITY, f64::min);
+        let hi = s
             .iter()
             .map(|(_, r)| r.hi)
             .fold(f64::NEG_INFINITY, f64::max);
-        if self.entries.is_empty() {
+        if s.is_empty() {
             None
         } else {
             Some(DelayRange { lo, hi })
@@ -217,10 +311,24 @@ impl DelayMap {
     }
 }
 
+impl PartialEq for DelayMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for DelayMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DelayMap")
+            .field("entries", &self.as_slice())
+            .finish()
+    }
+}
+
 impl fmt::Display for DelayMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (g, r)) in self.entries.iter().enumerate() {
+        for (i, (g, r)) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -316,6 +424,30 @@ mod tests {
         let o = m.overall_range().unwrap();
         assert_eq!((o.lo, o.hi), (0.0, 4.0));
         assert!(DelayMap::default().overall_range().is_none());
+    }
+
+    #[test]
+    fn maps_larger_than_inline_capacity_spill_transparently() {
+        // 6 groups: exceeds INLINE_GROUPS both via from_entries and via
+        // merge-driven growth; behavior must be identical to the inline
+        // case.
+        let big = DelayMap::from_entries(
+            (0..6)
+                .map(|i| (g(i), DelayRange::point(i as f64)))
+                .collect(),
+        );
+        assert_eq!(big.group_count(), 6);
+        for i in 0..6 {
+            assert_eq!(big.range(g(i)).unwrap().lo, i as f64);
+        }
+        // Merge two disjoint 3-group maps: pushes past the inline capacity
+        // one entry at a time.
+        let lo = DelayMap::from_entries((0..3).map(|i| (g(i), DelayRange::point(0.0))).collect());
+        let hi = DelayMap::from_entries((3..7).map(|i| (g(i), DelayRange::point(1.0))).collect());
+        let m = lo.merge(&hi);
+        assert_eq!(m.group_count(), 7);
+        assert_eq!(m.shifted(2.0).range(g(6)).unwrap().hi, 3.0);
+        assert_eq!(m, hi.merge(&lo));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use astdme_geom::{merge_locus, Interval};
 
 use crate::{CandKind, Candidate};
 
-use super::context::MergeCtx;
+use super::context::{MergeCtx, Scratch};
 use super::NodeId;
 
 impl MergeCtx<'_> {
@@ -18,17 +18,21 @@ impl MergeCtx<'_> {
     ///
     /// Mutation is confined to the context's overlay (candidates the
     /// offset-adjustment machinery derives on existing nodes), which is
-    /// what lets `merge` fan expansions out across threads.
+    /// what lets `merge` fan expansions out across threads. `scratch` is
+    /// the caller's buffer set (one per worker): every constraint assembly
+    /// on this path reuses it, so an expansion allocates nothing beyond
+    /// the candidates it produces.
     pub(crate) fn expand_pair(
         &mut self,
         a: NodeId,
         b: NodeId,
         ia: usize,
         ib: usize,
+        scratch: &mut Scratch,
     ) -> (Vec<Candidate>, f64) {
-        let cons = self.shared_constraints(a, b, ia, ib);
+        self.shared_constraints_in(a, b, ia, ib, scratch);
         // Cases 1-3 (plus snaking) at the pair as given.
-        if let Some(cands) = self.try_expand_at(a, b, ia, ib, &cons) {
+        if let Some(cands) = self.try_expand_at(a, b, ia, ib, &scratch.cons, &mut scratch.samples) {
             return (cands, 0.0);
         }
         // Case 4: conflicting δ-windows — only re-balancing inside a child
@@ -39,9 +43,9 @@ impl MergeCtx<'_> {
                 "[conflict] merge {}x{} cands {ia},{ib}: {} shared groups",
                 a.0,
                 b.0,
-                cons.len()
+                scratch.cons.len()
             );
-            for c in &cons {
+            for c in &scratch.cons {
                 eprintln!(
                     "  cons: a=[{:.6e},{:.6e}] b=[{:.6e},{:.6e}] bound={:.1e} spread_a={:.2e} spread_b={:.2e}",
                     c.lo_a, c.hi_a, c.lo_b, c.hi_b, c.bound,
@@ -49,9 +53,11 @@ impl MergeCtx<'_> {
                 );
             }
         }
-        if let Some((ia2, ib2)) = self.adjust_offsets(a, b, ia, ib) {
-            let cons2 = self.shared_constraints(a, b, ia2, ib2);
-            if let Some(cands) = self.try_expand_at(a, b, ia2, ib2, &cons2) {
+        if let Some((ia2, ib2)) = self.adjust_offsets(a, b, ia, ib, scratch) {
+            self.shared_constraints_in(a, b, ia2, ib2, scratch);
+            if let Some(cands) =
+                self.try_expand_at(a, b, ia2, ib2, &scratch.cons, &mut scratch.samples)
+            {
                 return (cands, 0.0);
             }
         }
@@ -59,7 +65,11 @@ impl MergeCtx<'_> {
         if debug {
             eprintln!("[conflict] -> best_effort");
         }
-        self.best_effort(a, b, ia, ib, &cons)
+        // Re-derive the original pair's constraints (the adjustment path
+        // reused the buffers); assembly is deterministic, so this is the
+        // same constraint set the first attempt saw.
+        self.shared_constraints_in(a, b, ia, ib, scratch);
+        self.best_effort(a, b, ia, ib, &scratch.cons)
     }
 
     /// Cases 1-3 plus snaking for one concrete pair: sample the feasible
@@ -73,21 +83,24 @@ impl MergeCtx<'_> {
         ia: usize,
         ib: usize,
         cons: &[SharedConstraint],
+        samples: &mut Vec<f64>,
     ) -> Option<Vec<Candidate>> {
         let (ca, cb) = (self.cand(a, ia), self.cand(b, ib));
         let d = ca.region.distance(&cb.region);
         let (cap_a, cap_b) = (ca.cap, cb.cap);
         let set = feasible_splits(self.model, cap_a, cap_b, d, cons, self.cfg.skew_tol);
         if !set.is_empty() {
-            return Some(self.sample_candidates(a, b, ia, ib, d, &set));
+            return Some(self.sample_candidates(a, b, ia, ib, d, &set, samples));
         }
         let t = min_total_for_feasibility(self.model, cap_a, cap_b, d, cons, self.cfg.skew_tol)?;
         let t = t + (t * 1e-12).max(1e-9);
         let set = feasible_splits(self.model, cap_a, cap_b, t, cons, self.cfg.skew_tol);
-        (!set.is_empty()).then(|| self.sample_candidates(a, b, ia, ib, t, &set))
+        (!set.is_empty()).then(|| self.sample_candidates(a, b, ia, ib, t, &set, samples))
     }
 
-    /// Builds candidates for sampled splits of a feasible set.
+    /// Builds candidates for sampled splits of a feasible set. `samples`
+    /// is a reused staging buffer (cleared here).
+    #[allow(clippy::too_many_arguments)] // mirrors build_candidate's pair/split args plus the buffer
     pub(crate) fn sample_candidates(
         &self,
         a: NodeId,
@@ -96,10 +109,12 @@ impl MergeCtx<'_> {
         ib: usize,
         total: f64,
         set: &astdme_delay::IntervalSet,
+        samples: &mut Vec<f64>,
     ) -> Vec<Candidate> {
-        set.sample(self.cfg.split_samples)
-            .into_iter()
-            .map(|ea| {
+        set.sample_into(self.cfg.split_samples, samples);
+        samples
+            .iter()
+            .map(|&ea| {
                 let ea = ea.clamp(0.0, total);
                 self.build_candidate(a, b, ia, ib, ea, total - ea)
             })

@@ -40,12 +40,26 @@ pub(crate) struct Scratch {
     pub(crate) ea: Vec<(u32, f64, f64, f64)>,
     pub(crate) eb: Vec<(u32, f64, f64, f64)>,
     pub(crate) cons: Vec<SharedConstraint>,
+    /// Split-sample staging for `sample_candidates`.
+    pub(crate) samples: Vec<f64>,
+    /// Candidate-index-pair staging for `rank_candidate_pairs`.
+    pub(crate) index_pairs: Vec<(usize, usize)>,
+    /// Commit-phase node snapshots/bases (`commit_expansions`): small
+    /// `(node, count)` association lists reused across merges.
+    pub(crate) snap: Vec<(usize, usize)>,
+    pub(crate) bases: Vec<(usize, usize)>,
 }
 
 /// Candidates derived on *existing* nodes during one pair expansion
 /// (offset adjustment / wire sneaking), indexed past the node's pre-merge
 /// candidate count. Owned by a [`MergeCtx`]; committed to the forest in
 /// pair order afterwards.
+///
+/// Storage is three flat vectors (append list, intrusive per-node chain,
+/// first-touch tail table) instead of a `HashMap<node, Vec<positions>>`:
+/// an untouched overlay — the common case, one per candidate pair — costs
+/// no allocation at all, and a touched one costs three `Vec`s regardless
+/// of how many candidates a deep offset-adjustment recursion derives.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Overlay {
     /// `(node index, candidate)` in append order. Append order guarantees
@@ -53,23 +67,48 @@ pub(crate) struct Overlay {
     /// earlier in this list (children are derived before the parents that
     /// reference them), which is what lets the commit remap in one pass.
     added: Vec<(usize, Candidate)>,
-    /// Per-node positions into `added` (slot -> append position), so reads
-    /// and pushes stay O(1) even when a deep offset-adjustment recursion
-    /// derives many candidates.
-    slots: std::collections::HashMap<usize, Vec<usize>>,
+    /// `prev[i]`: index in `added` of the previous candidate for the same
+    /// node (`NO_PREV` for a node's first), forming per-node chains.
+    prev: Vec<u32>,
+    /// One entry per touched node, in first-touch order:
+    /// `(node, last added index, count)`. Expansions touch a handful of
+    /// nodes (the provenance chain of one pair), so lookup is a scan.
+    tails: Vec<(usize, u32, u32)>,
 }
+
+/// Chain terminator in [`Overlay::prev`].
+const NO_PREV: u32 = u32::MAX;
 
 impl Overlay {
     /// The `slot`-th candidate appended for `node`.
     fn get(&self, node: usize, slot: usize) -> &Candidate {
-        let pos = self.slots[&node][slot];
-        &self.added[pos].1
+        let &(_, last, count) = self
+            .tails
+            .iter()
+            .find(|&&(n, ..)| n == node)
+            .expect("overlay read of an untouched node");
+        let mut pos = last;
+        for _ in 0..(count as usize - 1 - slot) {
+            pos = self.prev[pos as usize];
+        }
+        &self.added[pos as usize].1
     }
 
     fn push(&mut self, node: usize, cand: Candidate) -> usize {
-        let positions = self.slots.entry(node).or_default();
-        let slot = positions.len();
-        positions.push(self.added.len());
+        let at = self.added.len() as u32;
+        let slot = match self.tails.iter_mut().find(|&&mut (n, ..)| n == node) {
+            Some((_, last, count)) => {
+                self.prev.push(*last);
+                *last = at;
+                *count += 1;
+                *count as usize - 1
+            }
+            None => {
+                self.prev.push(NO_PREV);
+                self.tails.push((node, at, 1));
+                0
+            }
+        };
         self.added.push((node, cand));
         slot
     }

@@ -311,7 +311,12 @@ impl MergeForest {
     /// independent by the borrow discipline), and the deterministic commit
     /// keeps results bit-identical to the serial build.
     #[cfg(feature = "parallel")]
-    fn expand_pairs(&self, a: NodeId, b: NodeId, pairs: &[(f64, usize, usize)]) -> Vec<Expansion> {
+    fn expand_pairs(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        pairs: &[(f64, usize, usize)],
+    ) -> Vec<Expansion> {
         // Fan out only on *large* merges: a typical expansion is cheaper
         // than a thread spawn, and `merge` runs n-1 times per route, so
         // unconditional spawning would make the parallel build slower than
@@ -323,27 +328,54 @@ impl MergeForest {
         const EXPAND_WORK_THRESHOLD: usize = 64;
         let work = self.nodes[a.0].cands.len() * self.nodes[b.0].cands.len();
         if pairs.len() < 2 || work < EXPAND_WORK_THRESHOLD {
-            return pairs
-                .iter()
-                .map(|&(_, ia, ib)| self.expand_one(a, b, ia, ib))
-                .collect();
+            return self.expand_pairs_serial(a, b, pairs);
         }
-        astdme_par::par_map(pairs, 2, |&(_, ia, ib)| self.expand_one(a, b, ia, ib))
+        // One scratch per worker thread, reused across its whole chunk
+        // (the forest's shared scratch cannot cross threads).
+        astdme_par::par_map_with(pairs, 2, Scratch::default, |scratch, &(_, ia, ib)| {
+            self.expand_one(a, b, ia, ib, scratch)
+        })
     }
 
     /// Expands every ranked pair against its own [`MergeCtx`] (serial
     /// build).
     #[cfg(not(feature = "parallel"))]
-    fn expand_pairs(&self, a: NodeId, b: NodeId, pairs: &[(f64, usize, usize)]) -> Vec<Expansion> {
-        pairs
-            .iter()
-            .map(|&(_, ia, ib)| self.expand_one(a, b, ia, ib))
-            .collect()
+    fn expand_pairs(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        pairs: &[(f64, usize, usize)],
+    ) -> Vec<Expansion> {
+        self.expand_pairs_serial(a, b, pairs)
     }
 
-    fn expand_one(&self, a: NodeId, b: NodeId, ia: usize, ib: usize) -> Expansion {
+    /// Serial expansion, reusing the forest's scratch across all pairs so
+    /// the hot path allocates no per-pair buffers.
+    fn expand_pairs_serial(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        pairs: &[(f64, usize, usize)],
+    ) -> Vec<Expansion> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = pairs
+            .iter()
+            .map(|&(_, ia, ib)| self.expand_one(a, b, ia, ib, &mut scratch))
+            .collect();
+        self.scratch = scratch;
+        out
+    }
+
+    fn expand_one(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        ia: usize,
+        ib: usize,
+        scratch: &mut Scratch,
+    ) -> Expansion {
         let mut ctx = self.ctx();
-        let (cands, residual) = ctx.expand_pair(a, b, ia, ib);
+        let (cands, residual) = ctx.expand_pair(a, b, ia, ib, scratch);
         Expansion {
             cands,
             residual,
@@ -363,37 +395,47 @@ impl MergeForest {
         b: NodeId,
         expansions: Vec<Expansion>,
     ) -> (Vec<Candidate>, f64) {
-        use std::collections::HashMap;
         // Pre-commit candidate counts of every overlay-touched node: any
         // provenance index below the snapshot refers to a committed
         // candidate; anything at or above is overlay-local to its pair.
-        let mut snap: HashMap<usize, usize> = HashMap::new();
+        // Expansions touch a handful of nodes, so `(node, count)`
+        // association lists (reused via scratch) beat hash maps here.
+        let mut snap = std::mem::take(&mut self.scratch.snap);
+        snap.clear();
         for exp in &expansions {
             for n in exp.overlay.nodes() {
-                snap.entry(n).or_insert_with(|| self.nodes[n].cands.len());
+                if !snap.iter().any(|&(sn, _)| sn == n) {
+                    snap.push((n, self.nodes[n].cands.len()));
+                }
             }
+        }
+        fn lookup(list: &[(usize, usize)], node: usize) -> Option<usize> {
+            list.iter().find(|&&(n, _)| n == node).map(|&(_, v)| v)
         }
         // Within one expansion's replay, a node's overlay candidates commit
         // at consecutive indices (nothing else touches the node), so the
         // remap only needs the node's candidate count at first touch.
         fn remap(
-            bases: &HashMap<usize, usize>,
-            snap: &HashMap<usize, usize>,
+            bases: &[(usize, usize)],
+            snap: &[(usize, usize)],
             node: usize,
             idx: usize,
         ) -> usize {
-            match snap.get(&node) {
-                Some(&s) if idx >= s => bases[&node] + (idx - s),
+            match lookup(snap, node) {
+                Some(s) if idx >= s => {
+                    lookup(bases, node).expect("remapped node has a base") + (idx - s)
+                }
                 _ => idx,
             }
         }
+        let mut bases = std::mem::take(&mut self.scratch.bases);
         let mut cands: Vec<Candidate> = Vec::new();
         let mut worst_residual = 0.0f64;
         for exp in expansions {
             worst_residual = worst_residual.max(exp.residual);
             // Committed index of this expansion's first overlay candidate,
             // per node.
-            let mut bases: HashMap<usize, usize> = HashMap::new();
+            bases.clear();
             for (n, mut cand) in exp.overlay.into_entries() {
                 if let CandKind::Merge { cand_a, cand_b, .. } = &mut cand.kind {
                     let (l, r) = self.nodes[n]
@@ -402,7 +444,9 @@ impl MergeForest {
                     *cand_a = remap(&bases, &snap, l.0, *cand_a);
                     *cand_b = remap(&bases, &snap, r.0, *cand_b);
                 }
-                bases.entry(n).or_insert_with(|| self.nodes[n].cands.len());
+                if !bases.iter().any(|&(bn, _)| bn == n) {
+                    bases.push((n, self.nodes[n].cands.len()));
+                }
                 self.nodes[n].push_candidate(cand);
             }
             for mut cand in exp.cands {
@@ -413,6 +457,10 @@ impl MergeForest {
                 cands.push(cand);
             }
         }
+        snap.clear();
+        bases.clear();
+        self.scratch.snap = snap;
+        self.scratch.bases = bases;
         (cands, worst_residual)
     }
 

@@ -9,7 +9,7 @@ use astdme_geom::Interval;
 
 use crate::{CandKind, Candidate, DelayMap, GroupId, MergeForest};
 
-use super::context::MergeCtx;
+use super::context::{MergeCtx, Scratch};
 use super::pairing::effective_entries_into;
 use super::NodeId;
 
@@ -25,6 +25,7 @@ impl MergeCtx<'_> {
         b: NodeId,
         ia: usize,
         ib: usize,
+        scratch: &mut Scratch,
     ) -> Option<(usize, usize)> {
         // Prefer adjusting the subtree with smaller load (cheaper snake).
         let order = if self.cand(a, ia).cap <= self.cand(b, ib).cap {
@@ -33,7 +34,7 @@ impl MergeCtx<'_> {
             [(b, ib, a, ia, false), (a, ia, b, ib, true)]
         };
         for (child, ic, other, io, child_is_a) in order {
-            if let Some(new_ic) = self.adjust_child(child, ic, other, io, child_is_a) {
+            if let Some(new_ic) = self.adjust_child(child, ic, other, io, child_is_a, scratch) {
                 return Some(if child_is_a {
                     (new_ic, ib)
                 } else {
@@ -58,23 +59,17 @@ impl MergeCtx<'_> {
         other: NodeId,
         io: usize,
         child_is_a: bool,
+        scratch: &mut Scratch,
     ) -> Option<usize> {
         let cc = self.cand(child, ic).clone();
         let oc = self.cand(other, io).clone();
-        let shared = cc.delays.shared_groups(&oc.delays);
-        if shared.len() < 2 {
-            // A single group's window is never self-conflicting.
-            return None;
-        }
         // δ-windows in the *child-first* orientation (child plays role
         // "a") regardless of its actual role: intersection emptiness is
         // orientation invariant, and in this orientation shifting the
         // group's delays inside `child` by +σ always translates the window
         // by -σ. The final validation below re-checks in true orientation.
-        let mut windows: Vec<(GroupId, Interval)> = Vec::with_capacity(shared.len());
-        for g in &shared {
-            let rc_g = cc.delays.range(*g).expect("shared group in child");
-            let ro_g = oc.delays.range(*g).expect("shared group in other");
+        let mut windows: Vec<(GroupId, Interval)> = Vec::new();
+        for (g, rc_g, ro_g) in cc.delays.shared_ranges(&oc.delays) {
             let w = SharedConstraint {
                 lo_a: rc_g.lo,
                 hi_a: rc_g.hi,
@@ -83,7 +78,11 @@ impl MergeCtx<'_> {
                 bound: self.bounds[g.index()],
             }
             .delta_window_with_tol(self.cfg.skew_tol)?;
-            windows.push((*g, w));
+            windows.push((g, w));
+        }
+        if windows.len() < 2 {
+            // A single group's window is never self-conflicting.
+            return None;
         }
         // Candidate anchors δ̂: aligning on each group's own window (that
         // group shifts nothing, the others move to it) plus the median of
@@ -126,12 +125,13 @@ impl MergeCtx<'_> {
             // Validate in true orientation (with rounding slack) and cost
             // the result: the new candidate's wire plus the snake the
             // parent merge would still need.
-            let cons = if child_is_a {
-                self.shared_constraints(child, other, idx, io)
+            if child_is_a {
+                self.shared_constraints_in(child, other, idx, io, scratch);
             } else {
-                self.shared_constraints(other, child, io, idx)
-            };
-            if intersect_delta_windows(&cons, self.cfg.skew_tol).is_none() {
+                self.shared_constraints_in(other, child, io, idx, scratch);
+            }
+            let cons = &scratch.cons;
+            if intersect_delta_windows(cons, self.cfg.skew_tol).is_none() {
                 // Leave the unused candidate in the overlay (indices must
                 // stay stable once created); it is committed with the rest
                 // but simply never gets referenced.
@@ -142,9 +142,9 @@ impl MergeCtx<'_> {
             let (cap_c, cap_o) = (new_c.cap, oc.cap);
             let new_wirelen = new_c.wirelen;
             let parent_total = if child_is_a {
-                min_total_for_feasibility(self.model, cap_c, cap_o, d, &cons, self.cfg.skew_tol)
+                min_total_for_feasibility(self.model, cap_c, cap_o, d, cons, self.cfg.skew_tol)
             } else {
-                min_total_for_feasibility(self.model, cap_o, cap_c, d, &cons, self.cfg.skew_tol)
+                min_total_for_feasibility(self.model, cap_o, cap_c, d, cons, self.cfg.skew_tol)
             }
             .unwrap_or(d);
             let cost = new_wirelen + parent_total;

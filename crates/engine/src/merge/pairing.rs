@@ -23,38 +23,38 @@ pub(crate) fn effective_entries_into(
     out.clear();
     for (g, r) in delays.iter() {
         let c = class_of_in(class_parent, g);
-        let (lo, hi) = (r.lo - phi[g.index()], r.hi - phi[g.index()]);
-        let b = bounds[g.index()];
-        match out.iter_mut().find(|(cc, ..)| *cc == c) {
-            Some((_, l, h, bb)) => {
-                *l = l.min(lo);
-                *h = h.max(hi);
-                *bb = bb.min(b);
-            }
-            None => out.push((c, lo, hi, b)),
+        out.push((
+            c,
+            r.lo - phi[g.index()],
+            r.hi - phi[g.index()],
+            bounds[g.index()],
+        ));
+    }
+    // Sort once, then coalesce same-class runs in place: O(C log C)
+    // instead of a linear `find` per group (hulling is order-independent,
+    // so this matches the old first-occurrence merge exactly).
+    out.sort_unstable_by_key(|(c, ..)| *c);
+    let mut w = 0;
+    for i in 0..out.len() {
+        if w > 0 && out[w - 1].0 == out[i].0 {
+            out[w - 1].1 = out[w - 1].1.min(out[i].1);
+            out[w - 1].2 = out[w - 1].2.max(out[i].2);
+            out[w - 1].3 = out[w - 1].3.min(out[i].3);
+        } else {
+            out[w] = out[i];
+            w += 1;
         }
     }
-    out.sort_by_key(|(c, ..)| *c);
+    out.truncate(w);
 }
 
 impl MergeCtx<'_> {
-    /// Shared-group constraints between two candidates. With group fusion
-    /// on, constraints are per effective class over offset-adjusted delays;
-    /// otherwise per original group.
-    pub(crate) fn shared_constraints(
-        &self,
-        a: NodeId,
-        b: NodeId,
-        ia: usize,
-        ib: usize,
-    ) -> Vec<SharedConstraint> {
-        let mut scratch = Scratch::default();
-        self.shared_constraints_in(a, b, ia, ib, &mut scratch);
-        scratch.cons
-    }
-
-    /// [`MergeCtx::shared_constraints`] into `scratch.cons` (cleared
-    /// first), reusing `scratch`'s entry buffers.
+    /// Shared-group constraints between two candidates, into
+    /// `scratch.cons` (cleared first), reusing `scratch`'s entry buffers —
+    /// the sole entry point, so every caller shares one buffer set instead
+    /// of allocating per call. With group fusion on, constraints are per
+    /// effective class over offset-adjusted delays; otherwise per original
+    /// group.
     pub(crate) fn shared_constraints_in(
         &self,
         a: NodeId,
@@ -104,17 +104,17 @@ impl MergeCtx<'_> {
         }
         let cons = &mut scratch.cons;
         cons.clear();
-        cons.extend(ca.delays.shared_groups(&cb.delays).into_iter().map(|g| {
-            let ra = ca.delays.range(g).expect("shared group present in a");
-            let rb = cb.delays.range(g).expect("shared group present in b");
-            SharedConstraint {
-                lo_a: ra.lo,
-                hi_a: ra.hi,
-                lo_b: rb.lo,
-                hi_b: rb.hi,
-                bound: self.bounds[g.index()],
-            }
-        }));
+        cons.extend(
+            ca.delays
+                .shared_ranges(&cb.delays)
+                .map(|(g, ra, rb)| SharedConstraint {
+                    lo_a: ra.lo,
+                    hi_a: ra.hi,
+                    lo_b: rb.lo,
+                    hi_b: rb.hi,
+                    bound: self.bounds[g.index()],
+                }),
+        );
     }
 
     /// Estimated wire cost of merging one candidate pair: the geometric
@@ -233,17 +233,18 @@ impl MergeForest {
         b: NodeId,
     ) -> Vec<(f64, usize, usize)> {
         let (na, nb) = (self.nodes[a.0].cands.len(), self.nodes[b.0].cands.len());
-        let index_pairs: Vec<(usize, usize)> = (0..na)
-            .flat_map(|ia| (0..nb).map(move |ib| (ia, ib)))
-            .collect();
         let mut scratch = std::mem::take(&mut self.scratch);
+        let mut index_pairs = std::mem::take(&mut scratch.index_pairs);
+        index_pairs.clear();
+        index_pairs.extend((0..na).flat_map(|ia| (0..nb).map(move |ib| (ia, ib))));
         let costs = self.ctx().pair_costs(a, b, &index_pairs, &mut scratch);
-        self.scratch = scratch;
         let mut pairs: Vec<(f64, usize, usize)> = index_pairs
             .iter()
             .zip(costs)
             .map(|(&(ia, ib), cost)| (cost, ia, ib))
             .collect();
+        scratch.index_pairs = index_pairs;
+        self.scratch = scratch;
         // total_cmp, not partial_cmp: a NaN cost estimate must surface as
         // a deterministic ordering (NaN ranks after every real cost, so
         // the pair is expanded last or truncated) and ultimately as an

@@ -1,16 +1,18 @@
 //! Bucketed neighbor index over subtree root regions.
 
-use std::collections::HashMap;
-
 use astdme_geom::{Point, Trr};
 
 /// A uniform-grid index over region center points, answering approximate
 /// nearest-neighbor queries by exact region distance.
 ///
-/// Regions are bucketed by center; queries expand rings of cells outward
-/// and stop once no unvisited cell can beat the best exact distance found
-/// (accounting for region extents). Used by the merge planners to avoid
-/// all-pairs scans.
+/// Regions are bucketed by center into a **flat dense cell array** (row
+/// major over the build-time bounding box — a cell visit is an array index,
+/// never a hash); queries expand rings of cells outward and stop once no
+/// unvisited cell can beat the best exact distance found (accounting for
+/// region extents). Items inserted after the build whose center falls
+/// outside the original box are clamped into the border cells, which only
+/// ever *under*-estimates their ring distance — conservative, so queries
+/// stay exact. Used by the merge planners to avoid all-pairs scans.
 ///
 /// ```
 /// use astdme_geom::{Point, Trr};
@@ -28,7 +30,23 @@ use astdme_geom::{Point, Trr};
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridIndex {
-    cells: HashMap<(i64, i64), Vec<(usize, Trr)>>,
+    /// Row-major `(grid_w × grid_h)` cells.
+    cells: Vec<Vec<(usize, Trr)>>,
+    /// Largest region diameter per cell (conservative: never shrunk on
+    /// removal). Ring walks prune whole cells against this before touching
+    /// their items, so one huge region only taxes queries near *its* cell,
+    /// not the `max_extent` bound of every query in the index.
+    cell_exts: Vec<f64>,
+    /// Per-cell caller-attached caps ([`GridIndex::note_cap`]; zero until
+    /// noted, reset by `build`). The incremental planner notes each
+    /// entry's cached nearest-neighbor distance here, which lets
+    /// [`GridIndex::neighbors_within_capped`] skip cells whose entries all
+    /// hold caches tighter than their distance to the query — the
+    /// neighbor-takeover scan then pays for the query's *local*
+    /// neighborhood instead of the global worst cache.
+    cell_caps: Vec<f64>,
+    grid_w: i64,
+    grid_h: i64,
     cell_size: f64,
     origin: Point,
     max_extent: f64,
@@ -44,15 +62,15 @@ impl GridIndex {
     /// Keys must be unique; duplicates make `nearest` results ambiguous.
     pub fn build(items: &[(usize, Trr)]) -> Self {
         let n = items.len().max(1);
-        let centers: Vec<Point> = items.iter().map(|(_, t)| t.center()).collect();
         let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
-        for c in &centers {
+        for (_, t) in items {
+            let c = t.center();
             x0 = x0.min(c.x);
             y0 = y0.min(c.y);
             x1 = x1.max(c.x);
             y1 = y1.max(c.y);
         }
-        if centers.is_empty() {
+        if items.is_empty() {
             (x0, y0, x1, y1) = (0.0, 0.0, 1.0, 1.0);
         }
         // ~1-2 items per cell on average; for degenerate (e.g. collinear)
@@ -69,8 +87,14 @@ impl GridIndex {
             .iter()
             .map(|(_, t)| t.diameter())
             .fold(0.0f64, f64::max);
+        let grid_w = ((w / cell_size).floor() as i64 + 1).max(1);
+        let grid_h = ((h / cell_size).floor() as i64 + 1).max(1);
         let mut g = Self {
-            cells: HashMap::with_capacity(n),
+            cells: vec![Vec::new(); (grid_w * grid_h) as usize],
+            cell_exts: vec![0.0; (grid_w * grid_h) as usize],
+            cell_caps: vec![0.0; (grid_w * grid_h) as usize],
+            grid_w,
+            grid_h,
             cell_size,
             origin: Point::new(x0, y0),
             max_extent,
@@ -84,11 +108,27 @@ impl GridIndex {
         g
     }
 
+    /// The cell coordinates of `p`, clamped into the dense array. Clamping
+    /// moves a cell *toward* any query center, so ring lower bounds only
+    /// under-estimate — conservative for exactness.
     fn cell_of(&self, p: Point) -> (i64, i64) {
-        (
-            ((p.x - self.origin.x) / self.cell_size).floor() as i64,
-            ((p.y - self.origin.y) / self.cell_size).floor() as i64,
-        )
+        let cx = ((p.x - self.origin.x) / self.cell_size).floor() as i64;
+        let cy = ((p.y - self.origin.y) / self.cell_size).floor() as i64;
+        (cx.clamp(0, self.grid_w - 1), cy.clamp(0, self.grid_h - 1))
+    }
+
+    /// The items of cell `(cx, cy)` together with the cell's extent bound,
+    /// or `None` when the cell is outside the grid or empty.
+    #[inline]
+    fn slot(&self, cx: i64, cy: i64) -> Option<(&[(usize, Trr)], f64)> {
+        if cx < 0 || cy < 0 || cx >= self.grid_w || cy >= self.grid_h {
+            return None;
+        }
+        let i = (cy * self.grid_w + cx) as usize;
+        if self.cells[i].is_empty() {
+            return None;
+        }
+        Some((&self.cells[i], self.cell_exts[i]))
     }
 
     /// Inserts an item.
@@ -97,19 +137,20 @@ impl GridIndex {
         let cell = self.cell_of(region.center());
         self.cell_min = (self.cell_min.0.min(cell.0), self.cell_min.1.min(cell.1));
         self.cell_max = (self.cell_max.0.max(cell.0), self.cell_max.1.max(cell.1));
-        self.cells.entry(cell).or_default().push((key, region));
+        let i = (cell.1 * self.grid_w + cell.0) as usize;
+        self.cells[i].push((key, region));
+        self.cell_exts[i] = self.cell_exts[i].max(region.diameter());
         self.len += 1;
     }
 
     /// Removes an item by key; returns `true` if it was present.
     pub fn remove(&mut self, key: usize, region: &Trr) -> bool {
         let cell = self.cell_of(region.center());
-        if let Some(v) = self.cells.get_mut(&cell) {
-            if let Some(i) = v.iter().position(|(k, _)| *k == key) {
-                v.swap_remove(i);
-                self.len -= 1;
-                return true;
-            }
+        let v = &mut self.cells[(cell.1 * self.grid_w + cell.0) as usize];
+        if let Some(i) = v.iter().position(|(k, _)| *k == key) {
+            v.swap_remove(i);
+            self.len -= 1;
+            return true;
         }
         false
     }
@@ -127,6 +168,12 @@ impl GridIndex {
         self.max_extent
     }
 
+    /// The cell edge length: the scale against which region extents are
+    /// "large" for this index (ring walks lengthen once extents pass it).
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
     /// Returns `true` if the index holds no items.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -135,6 +182,21 @@ impl GridIndex {
     /// The nearest other item to `region` (excluding `key` itself), by
     /// exact region distance, or `None` if the index has no other items.
     pub fn nearest(&self, key: usize, region: &Trr) -> Option<(usize, f64)> {
+        self.nearest_with_hint(key, region, None)
+    }
+
+    /// [`GridIndex::nearest`] seeded with a known item and its exact
+    /// region distance (it must currently be stored in the index): ring
+    /// expansion prunes against the hint from the start, so callers that
+    /// already hold a good candidate — the incremental planner refreshing
+    /// a surviving neighbor cache — pay only the cells that could beat it.
+    /// Ties resolve toward the hint (a strictly closer item replaces it).
+    pub fn nearest_with_hint(
+        &self,
+        key: usize,
+        region: &Trr,
+        hint: Option<(usize, f64)>,
+    ) -> Option<(usize, f64)> {
         if self.len <= 1 {
             return None;
         }
@@ -147,21 +209,30 @@ impl GridIndex {
             .max((center_cell.1 - self.cell_min.1).abs())
             .max((self.cell_max.1 - center_cell.1).abs())
             .max(0);
-        let mut best: Option<(usize, f64)> = None;
+        let mut best: Option<(usize, f64)> = hint;
         for ring in 0..=max_ring {
             // Lower bound on distance for items in this ring: their center
-            // is at least (ring - 1) cells away; subtract region extents.
-            let ring_lb =
-                ((ring - 1).max(0) as f64) * self.cell_size - self.max_extent - region.diameter();
+            // is at least (ring - 1) cells away (center-to-center L1 is at
+            // least the per-axis gap); region distance trims at most half
+            // of each diameter off that.
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
             if let Some((_, d)) = best {
                 if d <= ring_lb {
                     break;
                 }
             }
-            for (cx, cy) in ring_cells(center_cell, ring) {
-                let Some(items) = self.cells.get(&(cx, cy)) else {
-                    continue;
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
                 };
+                // The same bound with the cell's own extent: a far-away
+                // huge region cannot force item scans here.
+                if let Some((_, d)) = best {
+                    if d <= base - 0.5 * (ext + region.diameter()) {
+                        return;
+                    }
+                }
                 for (k, t) in items {
                     if *k == key {
                         continue;
@@ -171,9 +242,122 @@ impl GridIndex {
                         best = Some((*k, d));
                     }
                 }
-            }
+            });
         }
         best
+    }
+
+    /// The nearest other item to `region` at exact region distance
+    /// *strictly below* `bound`, or `None` when nothing beats the bound.
+    /// Ring expansion prunes against `bound` from the start, so a tight
+    /// bound touches only a handful of cells — the incremental planner
+    /// checks every surviving neighbor cache against a small grid of a
+    /// round's new subtrees this way, each query bounded by its own
+    /// cached distance.
+    pub fn nearest_within(&self, key: usize, region: &Trr, bound: f64) -> Option<(usize, f64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let center_cell = self.cell_of(region.center());
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        let mut best: Option<(usize, f64)> = None;
+        for ring in 0..=max_ring {
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
+            let cap = best.map_or(bound, |(_, d)| d);
+            if ring_lb >= cap {
+                break;
+            }
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
+                };
+                let cap = best.map_or(bound, |(_, d)| d);
+                if base - 0.5 * (ext + region.diameter()) >= cap {
+                    return;
+                }
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if d < bound && best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((*k, d));
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Raises the cap of the cell containing `region`'s center to at least
+    /// `value` (see [`GridIndex::neighbors_within_capped`]). Caps only
+    /// ever grow between builds — conservative under removals and
+    /// re-pointed caches — and `build` resets them to zero, so long-lived
+    /// callers must re-note after a rebuild.
+    pub fn note_cap(&mut self, region: &Trr, value: f64) {
+        let cell = self.cell_of(region.center());
+        let i = (cell.1 * self.grid_w + cell.0) as usize;
+        if value > self.cell_caps[i] {
+            self.cell_caps[i] = value;
+        }
+    }
+
+    /// [`GridIndex::neighbors_within`], additionally skipping cells whose
+    /// noted cap ([`GridIndex::note_cap`]) rules every item out: a cell is
+    /// visited only if some item in it could lie *strictly closer* than
+    /// the cell's own cap. The planner's neighbor-takeover scan uses this
+    /// with per-entry cached distances as caps, so the global `bound`
+    /// (the largest cached distance anywhere) only sets the ring-walk
+    /// horizon while dense regions prune themselves locally.
+    pub fn neighbors_within_capped<F: FnMut(usize, f64)>(
+        &self,
+        key: usize,
+        region: &Trr,
+        bound: f64,
+        mut f: F,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let center_cell = self.cell_of(region.center());
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        for ring in 0..=max_ring {
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
+            if ring_lb > bound {
+                break;
+            }
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
+                };
+                let i = (cy * self.grid_w + cx) as usize;
+                let cell_bound = self.cell_caps[i].min(bound);
+                if base - 0.5 * (ext + region.diameter()) >= cell_bound {
+                    return;
+                }
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if d <= bound {
+                        f(*k, d);
+                    }
+                }
+            });
+        }
     }
 
     /// Visits every item (other than `key`) whose exact region distance to
@@ -198,15 +382,18 @@ impl GridIndex {
             .max((self.cell_max.1 - center_cell.1).abs())
             .max(0);
         for ring in 0..=max_ring {
-            let ring_lb =
-                ((ring - 1).max(0) as f64) * self.cell_size - self.max_extent - region.diameter();
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
             if ring_lb > bound {
                 break;
             }
-            for (cx, cy) in ring_cells(center_cell, ring) {
-                let Some(items) = self.cells.get(&(cx, cy)) else {
-                    continue;
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
                 };
+                if base - 0.5 * (ext + region.diameter()) > bound {
+                    return;
+                }
                 for (k, t) in items {
                     if *k == key {
                         continue;
@@ -216,28 +403,31 @@ impl GridIndex {
                         f(*k, d);
                     }
                 }
-            }
+            });
         }
     }
 }
 
-/// The cells at Chebyshev ring `r` around `center` (all cells for `r = 0`
-/// means just the center).
-fn ring_cells(center: (i64, i64), r: i64) -> Vec<(i64, i64)> {
+/// Visits the cells at Chebyshev ring `r` around `center` (just the center
+/// for `r = 0`), inline — queries run per merge, so the ring walk must not
+/// allocate. The visit order (top/bottom rows interleaved by column, then
+/// the side columns) is part of the planner's deterministic tie-breaking:
+/// keep it stable.
+#[inline]
+fn for_ring_cells(center: (i64, i64), r: i64, mut f: impl FnMut(i64, i64)) {
     let (cx, cy) = center;
     if r == 0 {
-        return vec![center];
+        f(cx, cy);
+        return;
     }
-    let mut out = Vec::with_capacity((8 * r) as usize);
     for dx in -r..=r {
-        out.push((cx + dx, cy - r));
-        out.push((cx + dx, cy + r));
+        f(cx + dx, cy - r);
+        f(cx + dx, cy + r);
     }
     for dy in (-r + 1)..r {
-        out.push((cx - r, cy + dy));
-        out.push((cx + r, cy + dy));
+        f(cx - r, cy + dy);
+        f(cx + r, cy + dy);
     }
-    out
 }
 
 #[cfg(test)]

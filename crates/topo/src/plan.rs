@@ -106,9 +106,14 @@ pub(crate) fn pair_score<S: MergeSpace>(
 /// Greedily selects up to `limit` endpoint-disjoint pairs from
 /// `(a, b)` candidates already ranked best-first.
 pub(crate) fn select_disjoint(
-    ranked: impl Iterator<Item = (usize, usize)>,
+    mut ranked: impl Iterator<Item = (usize, usize)>,
     limit: usize,
 ) -> Vec<(usize, usize)> {
+    if limit == 1 {
+        // Greedy rounds take the best pair outright — no disjointness
+        // bookkeeping (or its allocation) needed for a single selection.
+        return ranked.next().into_iter().collect();
+    }
     let mut used = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(limit);
     for (a, b) in ranked {
@@ -147,7 +152,18 @@ pub fn plan_round<S: MergeSpace + MaybeSync>(
     } else {
         nearest_with_grid(space, active)
     };
-    let mut ranked = nn;
+    rank_and_select(space, cfg, nn, active.len())
+}
+
+/// Ranks deduplicated nearest pairs by score and selects the round — the
+/// tail both [`plan_round`] and the incremental planner's brute-force
+/// delegation share, so their orderings cannot drift apart.
+pub(crate) fn rank_and_select<S: MergeSpace>(
+    space: &S,
+    cfg: &TopoConfig,
+    mut ranked: Vec<(usize, usize, f64)>,
+    n_active: usize,
+) -> Vec<(usize, usize)> {
     ranked.sort_by(|x, y| {
         pair_score(space, cfg, x.0, x.1, x.2)
             .partial_cmp(&pair_score(space, cfg, y.0, y.1, y.2))
@@ -157,7 +173,7 @@ pub fn plan_round<S: MergeSpace + MaybeSync>(
     });
     select_disjoint(
         ranked.into_iter().map(|(a, b, _)| (a, b)),
-        round_limit(cfg.order, active.len()),
+        round_limit(cfg.order, n_active),
     )
 }
 

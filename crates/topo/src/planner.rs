@@ -13,25 +13,60 @@
 //!   grid) plus a bounded grid range query deciding whether the newly
 //!   created subtree became anyone's nearest neighbor (bounded by the
 //!   largest cached neighbor distance, tracked in a lazy max-heap);
-//! * candidate pairs live in a [`BTreeSet`] ordered by (score, keys), so a
-//!   round is selected by walking the set front instead of sorting;
+//! * candidate pairs live in a lazy min-heap keyed by (score, keys), so a
+//!   greedy round peeks the best live pair in O(1)-ish time — no sorting,
+//!   no ordered-set rebalancing, stale entries dropped on contact;
 //! * the active set itself is a dense vector with a position map —
 //!   removal is `swap_remove`, never an O(n) `retain`.
+//!
+//! # Batched maintenance and the dense-key invariant
+//!
+//! Merges are reported back per **round** via
+//! [`MergePlanner::apply_round`] (with [`MergePlanner::apply_merge`] as
+//! the single-merge convenience): the whole round's removals and
+//! insertions are applied first, then *one* maintenance sweep runs —
+//! a single `current_max_rd` bound computation, one bounded takeover
+//! range-query per new subtree against the final grid, and one amortized
+//! rebuild check — instead of per-merge churn. When a round replaces a
+//! large fraction of the active set (Edahiro-style multi-merging pairs
+//! off ~a quarter of the subtrees per round), incremental patching is
+//! slower than starting over, so past [`ROUND_REFRESH_DIVISOR`] the sweep
+//! switches to a **refresh**: patch the grid per merge (amortized rebuilds
+//! as usual) and re-derive every neighbor cache, reusing the cached pair
+//! score whenever
+//! a subtree's neighbor did not change (which skips the expensive exact
+//! `MergeSpace::distance` refinement — the bulk of a from-scratch round).
+//!
+//! All per-key state lives in flat vectors indexed by key (`NO_POS`
+//! sentinel for inactive): the planner assumes **dense keys** — merged
+//! subtrees get fresh keys that grow by roughly one per merge, as forest
+//! node indices do — so a `Vec` position map replaces the old `HashMap`s
+//! (`pos`, `pair_info`, `rev`) without a memory blow-up, and steady-state
+//! maintenance performs no hashing and (thanks to recycled back-reference
+//! buffers) no allocation. Pair scores are stored on the neighbor cache
+//! itself: a pair is in the ranking set iff at least one endpoint caches
+//! the other, and both endpoints derive bit-identical score keys, so the
+//! old refcounted `pair_info` map is redundant.
 //!
 //! The planner produces the **same pair sequence** as the from-scratch
 //! reference on every instance (modulo exact ties in region distance,
 //! which are measure-zero for real placements): below
 //! `BRUTE_FORCE_CUTOFF` active subtrees it delegates to `plan_round`
 //! outright, and above it the cached neighbors are exactly the neighbors a
-//! fresh grid query would return. The equivalence is pinned down by the
-//! property tests in `tests/planner_equiv.rs`.
+//! fresh grid query would return. The equivalence — and the equivalence of
+//! batched `apply_round` to a sequence of `apply_merge` calls — is pinned
+//! down by the property tests in `tests/planner_equiv.rs`.
 
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use astdme_geom::Trr;
 
-use crate::plan::{pair_score, round_limit, select_disjoint, BRUTE_FORCE_CUTOFF};
-use crate::{plan_round, GridIndex, MaybeSync, MergeSpace, TopoConfig};
+use crate::plan::{
+    nearest_bruteforce, pair_score, rank_and_select, round_limit, select_disjoint,
+    BRUTE_FORCE_CUTOFF,
+};
+use crate::{GridIndex, MaybeSync, MergeSpace, TopoConfig};
 
 /// Maps a non-NaN `f64` to bits whose unsigned order matches the float
 /// order (sign-magnitude to two's-complement folding).
@@ -46,6 +81,93 @@ fn score_bits(x: f64) -> u64 {
     }
 }
 
+/// Dense distance memo for the brute-force tail: keys seen below the
+/// cutoff get small slots, pair distances live in a flat matrix (NaN =
+/// unset). The tail re-scans all pairs every round, so a lookup must cost
+/// an index operation, not a hash. Slot count is bounded by the cutoff
+/// plus the merges after it (each adds one key), so the matrix stays tiny;
+/// the stride doubles with remapping if a space ever exceeds it.
+#[derive(Debug, Default)]
+struct BfMemo {
+    /// key → slot + 1 (0 = unassigned).
+    slot: Vec<u32>,
+    slots: usize,
+    stride: usize,
+    matrix: Vec<f64>,
+}
+
+impl BfMemo {
+    fn slot_of(&mut self, key: usize) -> usize {
+        if key >= self.slot.len() {
+            self.slot.resize(key + 1, 0);
+        }
+        if self.slot[key] == 0 {
+            if self.slots == self.stride {
+                let new_stride = (2 * self.stride).max(2 * BRUTE_FORCE_CUTOFF + 2);
+                let mut grown = vec![f64::NAN; new_stride * new_stride];
+                for r in 0..self.slots {
+                    let (old, new) = (r * self.stride, r * new_stride);
+                    grown[new..new + self.slots]
+                        .copy_from_slice(&self.matrix[old..old + self.slots]);
+                }
+                self.matrix = grown;
+                self.stride = new_stride;
+            }
+            self.slots += 1;
+            self.slot[key] = self.slots as u32;
+        }
+        self.slot[key] as usize - 1
+    }
+}
+
+/// Memoizing [`MergeSpace`] adapter for the brute-force tail: exact
+/// distances are cached by normalized pair (distance is symmetric —
+/// both orientations minimize over the same candidate set), everything
+/// else delegates. Values are bit-identical to the wrapped space's, so
+/// planning through this wrapper matches the reference exactly.
+struct CachedSpace<'a, S> {
+    inner: &'a S,
+    cache: std::cell::RefCell<&'a mut BfMemo>,
+}
+
+impl<S: MergeSpace> MergeSpace for CachedSpace<'_, S> {
+    fn region(&self, id: usize) -> Trr {
+        self.inner.region(id)
+    }
+
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        let mut memo = self.cache.borrow_mut();
+        let (sa, sb) = (memo.slot_of(a), memo.slot_of(b));
+        let idx = sa.min(sb) * memo.stride + sa.max(sb);
+        let hit = memo.matrix[idx];
+        if !hit.is_nan() {
+            return hit;
+        }
+        let d = self.inner.distance(a, b);
+        memo.matrix[idx] = d;
+        d
+    }
+
+    fn delay(&self, id: usize) -> f64 {
+        self.inner.delay(id)
+    }
+}
+
+/// Sentinel in the dense `pos` map: the key is not active.
+const NO_POS: u32 = u32::MAX;
+
+/// Sentinel in the `dirty` list: no re-query seed available.
+const NO_HINT: usize = usize::MAX;
+
+/// When one round's merges replace at least `1/ROUND_REFRESH_DIVISOR` of
+/// the surviving active set, [`MergePlanner::apply_round`] refreshes the
+/// whole neighbor structure instead of patching it: the patching constant
+/// (takeover range queries, invalidation re-queries) exceeds the refresh
+/// cost once most caches are invalidated anyway. Multi-merge rounds
+/// (fraction ≥ ~1/8) always refresh; greedy rounds (one merge) never do
+/// above the brute-force cutoff.
+const ROUND_REFRESH_DIVISOR: usize = 8;
+
 #[derive(Debug, Clone, Copy)]
 struct Nn {
     /// The neighbor's key.
@@ -53,6 +175,11 @@ struct Nn {
     /// Representative-region distance to it (the grid's metric, used to
     /// decide whether a new subtree supersedes the cached neighbor).
     region_dist: f64,
+    /// Folded score bits of the `(lo, hi)` pair this cache references.
+    /// Both endpoints of a pair derive bit-identical scores (the exact
+    /// distance is symmetric), so membership of the pair in the ranking
+    /// set is simply "some endpoint caches the other" — no refcount map.
+    score: u64,
 }
 
 #[derive(Debug)]
@@ -62,16 +189,11 @@ struct Entry {
     nn: Option<Nn>,
 }
 
-#[derive(Debug)]
-struct PairInfo {
-    score: u64,
-    refs: u8,
-}
-
 /// Stateful, incremental merge planner (see the module docs).
 ///
 /// Drive it with [`MergePlanner::plan_round`] /
-/// [`MergePlanner::apply_merge`]:
+/// [`MergePlanner::apply_round`] (or per-merge
+/// [`MergePlanner::apply_merge`]):
 ///
 /// ```
 /// use astdme_geom::{Point, Trr};
@@ -91,13 +213,15 @@ struct PairInfo {
 /// ]);
 /// let mut planner = MergePlanner::new(&space, &[0, 1, 2], TopoConfig::greedy());
 /// while planner.len() > 1 {
+///     let mut round = Vec::new();
 ///     for (a, b) in planner.plan_round(&space) {
 ///         // "Merge": a new point midway, registered as a fresh key.
 ///         let m = space.0.len();
 ///         let (pa, pb) = (space.0[a], space.0[b]);
 ///         space.0.push(Point::new(0.5 * (pa.x + pb.x), 0.5 * (pa.y + pb.y)));
-///         planner.apply_merge(&space, a, b, m);
+///         round.push((a, b, m));
 ///     }
+///     planner.apply_round(&space, &round);
 /// }
 /// assert_eq!(planner.len(), 1);
 /// ```
@@ -105,27 +229,74 @@ struct PairInfo {
 pub struct MergePlanner {
     cfg: TopoConfig,
     entries: Vec<Entry>,
-    /// key → index into `entries`.
-    pos: HashMap<usize, usize>,
+    /// key → index into `entries` (`NO_POS` = inactive). Flat and dense:
+    /// see the module docs for the dense-key invariant.
+    pos: Vec<u32>,
     grid: GridIndex,
     /// Active count and max extent at the last grid (re)build; when the
     /// set halves or extents quadruple, the grid is rebuilt so cell size
     /// and query bounds track the surviving subtrees.
     built_len: usize,
     built_extent: f64,
-    /// Current nearest-neighbor pairs, ordered by `(score, lo, hi)` — the
-    /// exact ranking the from-scratch planner sorts into.
-    pairs: BTreeSet<(u64, usize, usize)>,
-    pair_info: HashMap<(usize, usize), PairInfo>,
-    /// key → keys whose cached neighbor is that key (lazily validated).
-    rev: HashMap<usize, Vec<usize>>,
-    /// Keys whose neighbor cache must be refilled from the grid.
-    dirty: Vec<usize>,
+    /// Current nearest-neighbor pairs as a lazy min-heap over
+    /// `(score, lo, hi)` — the exact ranking the from-scratch planner
+    /// sorts into. Entries are never removed eagerly: a pair is live iff
+    /// some endpoint still caches the other at the recorded score
+    /// ([`MergePlanner::pair_live`]); stale tops are popped at selection.
+    /// Lazy deletion beats an ordered set here because the point-update
+    /// path only ever needs the *minimum* live pair (greedy rounds), so
+    /// maintenance is an O(1)-ish push instead of tree rebalancing.
+    /// Unused (empty) while `sorted_valid`: a refresh stores the ranking
+    /// as the flat `sorted_pairs` instead, and the heap is only
+    /// materialized when the incremental maintenance path next needs
+    /// point updates ([`MergePlanner::ensure_heap`]).
+    pairs: BinaryHeap<Reverse<(u64, usize, usize)>>,
+    /// Sorted, deduplicated pair ranking as of the last refresh; the
+    /// active representation while `sorted_valid`. Selection walks this
+    /// vector — no tree nodes are built in the refresh regime, where the
+    /// whole ranking is replaced every round anyway.
+    sorted_pairs: Vec<(u64, usize, usize)>,
+    sorted_valid: bool,
+    /// key → keys whose cached neighbor is that key (lazily validated),
+    /// dense-indexed like `pos`. Inner buffers are recycled through
+    /// `rev_pool` when their key is consumed.
+    rev: Vec<Vec<u32>>,
+    rev_pool: Vec<Vec<u32>>,
+    /// Keys whose neighbor cache must be refilled from the grid, paired
+    /// with a seed hint (`NO_HINT` when there is none): the key of the
+    /// merged subtree that consumed the old neighbor. The merge result
+    /// sits where the old neighbor was, so seeding the re-query with it
+    /// collapses the ring expansion to the immediate neighborhood.
+    dirty: Vec<(usize, usize)>,
     /// Lazy max-heap over `(region_dist bits, key)` of every cached
     /// neighbor ever set; stale tops are popped on demand. Its maximum
     /// bounds how far a new subtree can "take over" an existing cache,
     /// which bounds the insertion range query.
     rd_heap: BinaryHeap<(u64, usize)>,
+    /// Reused round buffers (new keys of the round; takeover victims).
+    round_new: Vec<usize>,
+    takeover_buf: Vec<(usize, f64)>,
+    /// Reused refresh staging: consumed key → merge result, sorted.
+    consumed_buf: Vec<(usize, usize)>,
+    /// Reused refresh staging: per new key (offset by the round's smallest
+    /// new key), the first sweep entry that picked it as neighbor plus
+    /// their region distance — the seed for the new key's own re-query.
+    seed_buf: Vec<(u32, f64)>,
+    /// Memoized exact pair distances for the brute-force tail
+    /// (`n <=` [`BRUTE_FORCE_CUTOFF`]). Subtrees are immutable, so entries
+    /// never go stale; the matrix stays tiny (pairs among the final few
+    /// dozen subtrees).
+    bf_cache: BfMemo,
+    /// Whether `rev` and `rd_heap` reflect the current caches. A refresh
+    /// re-derives every cache without maintaining either (the refresh
+    /// regime never reads them); the point-update path rebuilds both on
+    /// demand ([`MergePlanner::ensure_point_mode`]).
+    point_valid: bool,
+    /// Set by [`MergePlanner::new`], cleared by the first flush or apply:
+    /// while fresh, the initial neighbor derivation can go through the
+    /// bulk path ([`MergePlanner::bulk_derive`]) instead of per-entry
+    /// point updates.
+    fresh: bool,
 }
 
 impl MergePlanner {
@@ -143,16 +314,19 @@ impl MergePlanner {
             .collect();
         let items: Vec<(usize, Trr)> = entries.iter().map(|e| (e.key, e.region)).collect();
         let grid = GridIndex::build(&items);
-        let mut pos = HashMap::with_capacity(entries.len());
+        let max_key = active.iter().copied().max().unwrap_or(0);
+        assert!(max_key < NO_POS as usize, "planner keys must fit u32");
+        let mut pos = vec![NO_POS; max_key + 1];
         for (i, e) in entries.iter().enumerate() {
             // Hard assert (matching merge_until_one_from_scratch): a
             // duplicate key would silently corrupt `pos`/the grid and hang
             // the merge loop in release builds.
-            let prev = pos.insert(e.key, i);
-            assert!(prev.is_none(), "duplicate planner key {}", e.key);
+            assert!(pos[e.key] == NO_POS, "duplicate planner key {}", e.key);
+            pos[e.key] = i as u32;
         }
         let built_extent = grid.max_extent();
-        let dirty = entries.iter().map(|e| e.key).collect();
+        let dirty = entries.iter().map(|e| (e.key, NO_HINT)).collect();
+        let rev = vec![Vec::new(); pos.len()];
         Self {
             cfg,
             built_len: entries.len(),
@@ -160,11 +334,20 @@ impl MergePlanner {
             pos,
             grid,
             built_extent,
-            pairs: BTreeSet::new(),
-            pair_info: HashMap::new(),
-            rev: HashMap::new(),
+            pairs: BinaryHeap::new(),
+            sorted_pairs: Vec::new(),
+            sorted_valid: false,
+            rev,
+            rev_pool: Vec::new(),
             dirty,
             rd_heap: BinaryHeap::new(),
+            round_new: Vec::new(),
+            takeover_buf: Vec::new(),
+            consumed_buf: Vec::new(),
+            seed_buf: Vec::new(),
+            bf_cache: BfMemo::default(),
+            point_valid: true,
+            fresh: true,
         }
     }
 
@@ -192,53 +375,317 @@ impl MergePlanner {
         self.entries[0].key
     }
 
+    /// The entry index of an active key, if any.
+    #[inline]
+    fn pos_of(&self, key: usize) -> Option<usize> {
+        match self.pos.get(key) {
+            Some(&p) if p != NO_POS => Some(p as usize),
+            _ => None,
+        }
+    }
+
+    /// Grows the dense per-key tables to cover `key`.
+    fn ensure_key(&mut self, key: usize) {
+        assert!(key < NO_POS as usize, "planner keys must fit u32");
+        if key >= self.pos.len() {
+            self.pos.resize(key + 1, NO_POS);
+            self.rev.resize_with(key + 1, Vec::new);
+        }
+    }
+
     /// Plans one merge round over the current active set: disjoint pairs,
     /// best first, exactly as [`plan_round`](crate::plan_round) would
     /// return them. Does not modify the active set — report merges back
-    /// via [`MergePlanner::apply_merge`].
+    /// via [`MergePlanner::apply_round`] / [`MergePlanner::apply_merge`].
     pub fn plan_round<S: MergeSpace + MaybeSync>(&mut self, space: &S) -> Vec<(usize, usize)> {
         let n = self.entries.len();
         if n < 2 {
             return Vec::new();
         }
         if n <= BRUTE_FORCE_CUTOFF {
-            // Delegate to the reference implementation: at this size the
-            // exact all-pairs scan is cheaper than index maintenance (and
-            // ranks by exact cost, which the reference also switches to).
+            // Delegate to the reference semantics: at this size the exact
+            // all-pairs scan is cheaper than index maintenance (and ranks
+            // by exact cost, which the reference also switches to). Unlike
+            // the from-scratch reference, exact distances are memoized
+            // across rounds — subtrees are immutable, so a pair's distance
+            // never changes, and the reference recomputing the same
+            // all-pairs matrix every round is most of its tail cost.
             let active: Vec<usize> = self.entries.iter().map(|e| e.key).collect();
-            return plan_round(space, &active, &self.cfg);
+            let cached = CachedSpace {
+                inner: space,
+                cache: std::cell::RefCell::new(&mut self.bf_cache),
+            };
+            let nn = nearest_bruteforce(&cached, &active);
+            return rank_and_select(&cached, &self.cfg, nn, active.len());
         }
         self.flush_dirty(space);
-        select_disjoint(
-            self.pairs.iter().map(|&(_, a, b)| (a, b)),
-            round_limit(self.cfg.order, n),
-        )
+        let limit = round_limit(self.cfg.order, n);
+        if self.sorted_valid {
+            select_disjoint(self.sorted_pairs.iter().map(|&(_, a, b)| (a, b)), limit)
+        } else {
+            self.select_from_heap(limit)
+        }
+    }
+
+    /// Whether the ranking entry `(score, lo, hi)` still describes a live
+    /// pair: some endpoint caches the other at that score. (A pair's score
+    /// is a pure function of the pair, so a re-formed pair reproduces the
+    /// recorded score bit-for-bit.)
+    fn pair_live(&self, score: u64, lo: usize, hi: usize) -> bool {
+        let caches = |a: usize, b: usize| {
+            self.pos_of(a)
+                .and_then(|i| self.entries[i].nn)
+                .is_some_and(|nn| nn.key == b && nn.score == score)
+        };
+        caches(lo, hi) || caches(hi, lo)
+    }
+
+    /// Selects a round from the lazy heap: stale tops are popped and
+    /// dropped, duplicates are harmless (endpoint-disjoint selection skips
+    /// them). The common greedy case peeks the minimum live pair without
+    /// disturbing the heap; larger limits (multi-merge fractions small
+    /// enough to stay on the point-update path) drain, select and restore.
+    fn select_from_heap(&mut self, limit: usize) -> Vec<(usize, usize)> {
+        if limit == 1 {
+            while let Some(&Reverse((s, lo, hi))) = self.pairs.peek() {
+                if self.pair_live(s, lo, hi) {
+                    return vec![(lo, hi)];
+                }
+                self.pairs.pop();
+            }
+            return Vec::new();
+        }
+        let mut sorted = Vec::with_capacity(self.pairs.len());
+        while let Some(Reverse(t)) = self.pairs.pop() {
+            if self.pair_live(t.0, t.1, t.2) {
+                sorted.push(t);
+            }
+        }
+        let out = select_disjoint(sorted.iter().map(|&(_, a, b)| (a, b)), limit);
+        self.pairs = sorted.into_iter().map(Reverse).collect();
+        out
+    }
+
+    /// Converts the flat post-refresh ranking back into the point-editable
+    /// lazy heap. Called when the incremental maintenance path follows a
+    /// refresh; heapifying the staging vector is O(n).
+    fn ensure_heap(&mut self) {
+        if self.sorted_valid {
+            self.pairs = self.sorted_pairs.drain(..).map(Reverse).collect();
+            self.sorted_valid = false;
+        }
+    }
+
+    /// Rebuilds the back-reference lists and the takeover max-heap from
+    /// the current caches. Called when the point-update path follows a
+    /// refresh (which maintains neither — the refresh regime never reads
+    /// them).
+    fn ensure_point_mode(&mut self) {
+        self.ensure_heap();
+        if self.point_valid {
+            return;
+        }
+        for slot in &mut self.rev {
+            slot.clear();
+        }
+        let mut heap_vec = std::mem::take(&mut self.rd_heap).into_vec();
+        heap_vec.clear();
+        for i in 0..self.entries.len() {
+            let k = self.entries[i].key;
+            if let Some(nn) = self.entries[i].nn {
+                self.rev[nn.key].push(k as u32);
+                heap_vec.push((nn.region_dist.to_bits(), k));
+                // The refresh regime sets caches without noting grid caps
+                // (it never runs takeover scans); catch the caps up.
+                self.grid.note_cap(&self.entries[i].region, nn.region_dist);
+            }
+        }
+        self.rd_heap = BinaryHeap::from(heap_vec);
+        self.point_valid = true;
     }
 
     /// Records that subtrees `a` and `b` were merged into the new subtree
-    /// `merged`: O(ring) index maintenance plus one linear sweep for
-    /// neighbor takeover, instead of a full re-plan.
+    /// `merged`. Equivalent to `apply_round(space, &[(a, b, merged)])` —
+    /// batch a whole round through [`MergePlanner::apply_round`] when it
+    /// has more than one merge.
     pub fn apply_merge<S: MergeSpace>(&mut self, space: &S, a: usize, b: usize, merged: usize) {
-        self.remove_key(a);
-        self.remove_key(b);
-        self.insert_key(space, merged);
+        self.apply_round(space, &[(a, b, merged)]);
+    }
+
+    /// Applies one whole round of merges `(a, b, merged)` and then runs a
+    /// single maintenance sweep: one combined invalidation pass, one
+    /// takeover bound, one bounded range query per new subtree, and one
+    /// amortized grid-upkeep check — or a wholesale refresh when the round
+    /// replaced a large fraction of the active set (see the module docs).
+    ///
+    /// Produces the same observable state as applying the merges one at a
+    /// time (modulo exact region-distance ties).
+    pub fn apply_round<S: MergeSpace>(&mut self, space: &S, merges: &[(usize, usize, usize)]) {
+        if merges.is_empty() {
+            return;
+        }
+        self.fresh = false;
+        // Each merge nets one fewer active subtree.
+        let final_len = self.entries.len() - merges.len();
+        if merges.len() * ROUND_REFRESH_DIVISOR >= final_len {
+            // A round this large (multi-merge) invalidates nearly every
+            // cache — merged subtrees are exactly the popular neighbors —
+            // so patching would re-derive almost everything through the
+            // point-update machinery. The refresh rebuilds the ranking and
+            // every cache in bulk instead (seeded by this round's merges);
+            // the per-merge bookkeeping that would be thrown away (pair
+            // unreferencing, back-reference invalidation, takeover
+            // queries) is skipped here — only the active set and the grid
+            // are updated.
+            for &(a, b, m) in merges {
+                self.drop_key(a);
+                self.drop_key(b);
+                self.add_key_deferred(space, m);
+            }
+            self.refresh(space, merges);
+            return;
+        }
+        self.ensure_point_mode();
+        let mut fresh = std::mem::take(&mut self.round_new);
+        fresh.clear();
+        for &(a, b, m) in merges {
+            // `m` seeds the re-queries of caches that pointed at `a`/`b`.
+            self.remove_key(a, m);
+            self.remove_key(b, m);
+            self.register_key(space, m);
+            fresh.push(m);
+        }
+        // Neighbor takeover: a new subtree may now be the nearest
+        // neighbor (by region distance, the grid's metric) of existing
+        // entries. Only entries whose cached neighbor is *farther*
+        // than the new region can be affected.
+        if merges.len() == 1 {
+            // One new subtree: a single grid range query bounded by the
+            // largest cached distance finds every victim.
+            if let Some(bound) = self.current_max_rd() {
+                for &m in &fresh {
+                    self.takeover_from(space, m, bound);
+                }
+            }
+        } else {
+            self.takeover_round(space, &fresh);
+        }
         self.maybe_rebuild();
+        self.round_new = fresh;
+    }
+
+    /// Round-batched neighbor takeover: builds a throwaway grid over just
+    /// the round's new subtrees and checks every surviving cache against
+    /// it, bounded by its own cached distance — strictly tighter than the
+    /// global-max bound, and O(1)-ish per survivor since the small grid is
+    /// sparse. Survivors without a cache (invalidated this round) are
+    /// already dirty and re-query the full grid lazily.
+    fn takeover_round<S: MergeSpace>(&mut self, space: &S, fresh: &[usize]) {
+        let items: Vec<(usize, Trr)> = fresh
+            .iter()
+            .map(|&k| {
+                let i = self.pos_of(k).expect("new key is active");
+                (k, self.entries[i].region)
+            })
+            .collect();
+        let new_grid = GridIndex::build(&items);
+        for i in 0..self.entries.len() {
+            let Some(nn) = self.entries[i].nn else {
+                continue; // dirty or new: full re-query at the next flush
+            };
+            let k = self.entries[i].key;
+            if let Some((m_key, rd)) =
+                new_grid.nearest_within(k, &self.entries[i].region, nn.region_dist)
+            {
+                let exact = space.distance(k, m_key);
+                self.set_nn(space, i, m_key, rd, exact);
+            }
+        }
+    }
+
+    /// Derives every neighbor cache and the flat sorted ranking in one
+    /// bulk pass over a planner with no prior state (right after
+    /// [`MergePlanner::new`]): no tree nodes, back-references or heap
+    /// entries are built — a multi-merge refresh would discard them on the
+    /// first round, and the point-update path rebuilds them on demand —
+    /// and mutual nearest pairs pay the exact-distance refinement once,
+    /// not twice (scores are symmetric).
+    fn bulk_derive<S: MergeSpace>(&mut self, space: &S) {
+        self.dirty.clear();
+        self.pairs.clear();
+        self.point_valid = false;
+        let mut staged = std::mem::take(&mut self.sorted_pairs);
+        staged.clear();
+        for i in 0..self.entries.len() {
+            let k = self.entries[i].key;
+            let region = self.entries[i].region;
+            let Some((nn_key, rd)) = self.grid.nearest(k, &region) else {
+                continue; // sole entry
+            };
+            let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+            let score = match self.pos_of(nn_key).and_then(|j| self.entries[j].nn) {
+                Some(p) if p.key == k => p.score,
+                _ => {
+                    let exact = space.distance(k, nn_key);
+                    score_bits(pair_score(space, &self.cfg, lo, hi, exact))
+                }
+            };
+            self.entries[i].nn = Some(Nn {
+                key: nn_key,
+                region_dist: rd,
+                score,
+            });
+            staged.push((score, lo, hi));
+        }
+        staged.sort_unstable();
+        staged.dedup();
+        self.sorted_pairs = staged;
+        self.sorted_valid = true;
     }
 
     /// Re-queries every key whose cached neighbor was invalidated.
     fn flush_dirty<S: MergeSpace>(&mut self, space: &S) {
-        while let Some(k) = self.dirty.pop() {
-            let Some(&i) = self.pos.get(&k) else {
+        if self.dirty.is_empty() {
+            return; // steady state after a refresh: nothing to patch
+        }
+        if std::mem::take(&mut self.fresh) {
+            self.bulk_derive(space);
+            return;
+        }
+        self.ensure_point_mode();
+        while let Some((k, hint_key)) = self.dirty.pop() {
+            let Some(i) = self.pos_of(k) else {
                 continue; // consumed after being marked dirty
             };
             if self.entries[i].nn.is_some() {
-                continue; // refilled by neighbor takeover in the meantime
+                continue; // refilled (or re-listed) in the meantime
             }
-            let Some((nn_key, rd)) = self.grid.nearest(k, &self.entries[i].region) else {
+            // Seed the query with the merge result that consumed the old
+            // neighbor, when it is still active: it sits where the old
+            // neighbor was, so the ring expansion stays local.
+            let region = self.entries[i].region;
+            let hint = (hint_key != NO_HINT)
+                .then(|| self.pos_of(hint_key))
+                .flatten()
+                .map(|hi| (hint_key, region.distance(&self.entries[hi].region)));
+            let Some((nn_key, rd)) = self.grid.nearest_with_hint(k, &region, hint) else {
                 continue; // sole survivor
             };
-            let exact = space.distance(k, nn_key);
-            self.set_nn(space, i, nn_key, rd, exact);
+            // Scores are symmetric: when the partner already caches this
+            // pair, its score is reused and the exact-distance refinement
+            // (the expensive part) is skipped.
+            let reused = self
+                .pos_of(nn_key)
+                .and_then(|j| self.entries[j].nn)
+                .filter(|p| p.key == k)
+                .map(|p| p.score);
+            match reused {
+                Some(score) => self.set_nn_scored(i, nn_key, rd, score),
+                None => {
+                    let exact = space.distance(k, nn_key);
+                    self.set_nn(space, i, nn_key, rd, exact);
+                }
+            }
         }
     }
 
@@ -252,111 +699,161 @@ impl MergePlanner {
         exact: f64,
     ) {
         let k = self.entries[i].key;
+        let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+        let score = score_bits(pair_score(space, &self.cfg, lo, hi, exact));
+        self.set_nn_scored(i, nn_key, region_dist, score);
+    }
+
+    /// [`MergePlanner::set_nn`] with a pre-derived score (reused from the
+    /// partner's cache — scores are symmetric and bit-stable per pair).
+    fn set_nn_scored(&mut self, i: usize, nn_key: usize, region_dist: f64, score: u64) {
+        let k = self.entries[i].key;
         self.clear_nn(i);
+        let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
         self.entries[i].nn = Some(Nn {
             key: nn_key,
             region_dist,
+            score,
         });
         self.rd_heap.push((region_dist.to_bits(), k));
-        self.rev.entry(nn_key).or_default().push(k);
-        let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
-        let score = score_bits(pair_score(space, &self.cfg, lo, hi, exact));
-        let info = self
-            .pair_info
-            .entry((lo, hi))
-            .or_insert(PairInfo { score, refs: 0 });
-        if info.refs == 0 {
-            self.pairs.insert((score, lo, hi));
-        }
-        info.refs += 1;
+        self.grid.note_cap(&self.entries[i].region, region_dist);
+        self.rev_push(nn_key, k);
+        self.pairs.push(Reverse((score, lo, hi)));
     }
 
-    /// Drops entry `i`'s cached neighbor (if any), unreferencing its pair.
+    /// Drops entry `i`'s cached neighbor (if any). The ranking heap is
+    /// lazy: the pair's entry goes stale in place and is dropped whenever
+    /// selection next reaches it.
     fn clear_nn(&mut self, i: usize) {
-        let k = self.entries[i].key;
-        let Some(nn) = self.entries[i].nn.take() else {
-            return;
-        };
-        let (lo, hi) = if k < nn.key { (k, nn.key) } else { (nn.key, k) };
-        let info = self
-            .pair_info
-            .get_mut(&(lo, hi))
-            .expect("cached neighbor implies a registered pair");
-        info.refs -= 1;
-        if info.refs == 0 {
-            let score = info.score;
-            self.pair_info.remove(&(lo, hi));
-            self.pairs.remove(&(score, lo, hi));
-        }
+        self.entries[i].nn = None;
     }
 
-    fn remove_key(&mut self, key: usize) {
+    /// Records `k` in `nn_key`'s back-reference list, recycling a pooled
+    /// buffer so steady-state maintenance does not allocate.
+    fn rev_push(&mut self, nn_key: usize, k: usize) {
+        let slot = &mut self.rev[nn_key];
+        if slot.capacity() == 0 {
+            if let Some(recycled) = self.rev_pool.pop() {
+                *slot = recycled;
+            }
+        }
+        slot.push(k as u32);
+    }
+
+    /// Removes an active key; caches that pointed at it are invalidated
+    /// and re-queried lazily, seeded with `hint` (the merge result that
+    /// consumed the key — it sits where the key was).
+    fn remove_key(&mut self, key: usize, hint: usize) {
         let i = self
-            .pos
-            .remove(&key)
+            .pos_of(key)
             .expect("apply_merge called with an inactive key");
+        self.pos[key] = NO_POS;
         self.clear_nn(i);
         let entry = self.entries.swap_remove(i);
         if i < self.entries.len() {
-            self.pos.insert(self.entries[i].key, i);
+            self.pos[self.entries[i].key] = i as u32;
         }
         self.grid.remove(key, &entry.region);
         // Whoever pointed at the removed key loses its neighbor: re-query.
-        if let Some(back_refs) = self.rev.remove(&key) {
-            for k in back_refs {
-                let Some(&ki) = self.pos.get(&k) else {
+        if !self.rev[key].is_empty() {
+            let mut back_refs = std::mem::take(&mut self.rev[key]);
+            for &k in &back_refs {
+                let k = k as usize;
+                let Some(ki) = self.pos_of(k) else {
                     continue; // stale back-reference
                 };
                 if self.entries[ki].nn.is_some_and(|nn| nn.key == key) {
                     self.clear_nn(ki);
-                    self.dirty.push(k);
+                    self.dirty.push((k, hint));
                 }
             }
+            back_refs.clear();
+            self.rev_pool.push(back_refs);
         }
     }
 
-    fn insert_key<S: MergeSpace>(&mut self, space: &S, key: usize) {
+    /// Removes `key` from the active set and the grid only — no pair-set
+    /// or back-reference maintenance. Valid solely on the refresh path,
+    /// which rebuilds those from the surviving entries (the grid, by
+    /// contrast, is patched here per merge: O(round) beats the O(n)
+    /// wholesale rebuild the refresh would otherwise need). Uses the same
+    /// swap-remove discipline as [`MergePlanner::remove_key`], so the
+    /// entries order (and hence tie-breaking) is identical on both paths.
+    fn drop_key(&mut self, key: usize) {
+        let i = self
+            .pos_of(key)
+            .expect("apply_merge called with an inactive key");
+        self.pos[key] = NO_POS;
+        let entry = self.entries.swap_remove(i);
+        if i < self.entries.len() {
+            self.pos[self.entries[i].key] = i as u32;
+        }
+        self.grid.remove(key, &entry.region);
+    }
+
+    /// Adds `key` to the active set and the grid only (refresh path; see
+    /// [`MergePlanner::drop_key`]).
+    fn add_key_deferred<S: MergeSpace>(&mut self, space: &S, key: usize) {
         let region = space.region(key);
+        self.ensure_key(key);
+        assert!(self.pos[key] == NO_POS, "duplicate planner key {key}");
         self.grid.insert(key, region);
-        self.pos.insert(key, self.entries.len());
+        self.pos[key] = self.entries.len() as u32;
         self.entries.push(Entry {
             key,
             region,
             nn: None,
         });
-        self.dirty.push(key);
-        // Neighbor takeover: the new subtree may now be the nearest
-        // neighbor (by region distance, the grid's metric) of existing
-        // entries. Only entries whose cached neighbor is *farther* than
-        // the new region can be affected, so a grid range query bounded by
-        // the largest cached distance finds every victim without an O(n)
-        // sweep.
-        let Some(bound) = self.current_max_rd() else {
-            return; // no caches set yet; dirty entries re-query anyway
-        };
-        let mut takeovers: Vec<(usize, f64)> = Vec::new();
+    }
+
+    /// Registers a new key in the grid and active set, deferring neighbor
+    /// derivation to the round's maintenance sweep.
+    fn register_key<S: MergeSpace>(&mut self, space: &S, key: usize) {
+        let region = space.region(key);
+        self.ensure_key(key);
+        assert!(self.pos[key] == NO_POS, "duplicate planner key {key}");
+        self.grid.insert(key, region);
+        self.pos[key] = self.entries.len() as u32;
+        self.entries.push(Entry {
+            key,
+            region,
+            nn: None,
+        });
+        self.dirty.push((key, NO_HINT));
+    }
+
+    /// Re-points every cached neighbor that the new subtree `key` beats,
+    /// via one range query bounded by `bound` (≥ every live cached
+    /// distance).
+    fn takeover_from<S: MergeSpace>(&mut self, space: &S, key: usize, bound: f64) {
+        let i = self.pos_of(key).expect("new key is active");
+        let region = self.entries[i].region;
+        let mut takeovers = std::mem::take(&mut self.takeover_buf);
+        takeovers.clear();
         {
             let (grid, pos, entries) = (&self.grid, &self.pos, &self.entries);
-            grid.neighbors_within(key, &region, bound, |k, rd| {
-                let Some(&ki) = pos.get(&k) else {
-                    return;
+            grid.neighbors_within_capped(key, &region, bound, |k, rd| {
+                let ki = match pos.get(k) {
+                    Some(&p) if p != NO_POS => p as usize,
+                    _ => return,
                 };
                 if entries[ki].nn.is_some_and(|nn| rd < nn.region_dist) {
                     takeovers.push((ki, rd));
                 }
             });
         }
-        for (i, rd) in takeovers {
-            let exact = space.distance(self.entries[i].key, key);
-            self.set_nn(space, i, key, rd, exact);
+        for &(ti, rd) in &takeovers {
+            let exact = space.distance(self.entries[ti].key, key);
+            self.set_nn(space, ti, key, rd, exact);
         }
+        self.takeover_buf = takeovers;
     }
 
     /// The largest cached neighbor distance among live entries, popping
     /// stale heap tops (re-pointed or consumed keys) on the way.
     fn current_max_rd(&mut self) -> Option<f64> {
         while let Some(&(bits, k)) = self.rd_heap.peek() {
-            let live = self.pos.get(&k).is_some_and(|&i| {
+            let live = self.pos_of(k).is_some_and(|i| {
                 self.entries[i]
                     .nn
                     .is_some_and(|nn| nn.region_dist.to_bits() == bits)
@@ -374,7 +871,15 @@ impl MergePlanner {
     /// (stale query bounds), rebuild from the live entries.
     fn maybe_rebuild(&mut self) {
         let shrunk = 2 * self.entries.len() <= self.built_len;
-        let outgrown = self.grid.max_extent() > 4.0 * self.built_extent.max(1e-12);
+        // Floor the extent baseline at a fraction of the cell size:
+        // extents only degrade queries once they rival the cells, so a
+        // point-leaf start (extent ~0) must not trigger a rebuild storm
+        // the moment the first merged hulls appear.
+        let baseline = self
+            .built_extent
+            .max(0.5 * self.grid.cell_size())
+            .max(1e-12);
+        let outgrown = self.grid.max_extent() > 4.0 * baseline;
         if !(shrunk || outgrown) || self.entries.len() < 2 {
             return;
         }
@@ -382,6 +887,137 @@ impl MergePlanner {
         self.grid = GridIndex::build(&items);
         self.built_len = self.entries.len();
         self.built_extent = self.grid.max_extent();
+        // A rebuild resets the grid's per-cell caps; re-note the live
+        // caches so the takeover scan keeps its local pruning. (In the
+        // refresh regime caches may be mid-rewrite here — noting stale
+        // distances is conservative, and the point-mode transition
+        // re-notes everything.)
+        for i in 0..self.entries.len() {
+            if let Some(nn) = self.entries[i].nn {
+                self.grid.note_cap(&self.entries[i].region, nn.region_dist);
+            }
+        }
+    }
+
+    /// Bulk maintenance sweep for a large round: one amortized grid-upkeep
+    /// check (the round's merges already patched the grid — see
+    /// [`MergePlanner::drop_key`]), then every neighbor cache re-derived.
+    /// The invariant "every cache holds the exact nearest active neighbor"
+    /// makes most of the work avoidable:
+    ///
+    /// * a cache whose neighbor **survived** is still the nearest among
+    ///   survivors (removals cannot bring anyone closer), so anything
+    ///   strictly closer must be one of the round's *new* subtrees — one
+    ///   main-grid query bounded by its own cached distance decides it,
+    ///   and usually comes back empty-handed (keep cache, score and all:
+    ///   no exact distance refinement);
+    /// * a cache whose neighbor was **consumed** re-queries the full grid,
+    ///   seeded with the merge result that swallowed the neighbor (it sits
+    ///   where the neighbor was, so ring expansion stays local);
+    /// * the new subtrees themselves re-query the full grid unseeded.
+    ///
+    /// The ranking is then rebuilt as a flat sorted vector
+    /// (`sorted_valid`) — in this regime it is replaced wholesale every
+    /// round, so tree nodes would be built just to be dropped. Likewise
+    /// `rev` and `rd_heap` are left stale (`point_valid`): only the
+    /// point-update path reads them.
+    fn refresh<S: MergeSpace>(&mut self, space: &S, merges: &[(usize, usize, usize)]) {
+        self.maybe_rebuild();
+        self.dirty.clear();
+        self.pairs.clear();
+        self.point_valid = false;
+        let mut staged = std::mem::take(&mut self.sorted_pairs);
+        staged.clear();
+        // consumed key → the merge result that swallowed it, for hints.
+        let mut consumed = std::mem::take(&mut self.consumed_buf);
+        consumed.clear();
+        for &(a, b, m) in merges {
+            consumed.push((a, m));
+            consumed.push((b, m));
+        }
+        consumed.sort_unstable();
+        // Seed table for the new keys' own re-queries: the first sweep
+        // entry that picks a new key as its neighbor donates the exact
+        // region distance (symmetric), bounding the new key's ring
+        // expansion later in the same sweep. Keys are dense (module docs),
+        // so the span tracks the round size; the guard keeps a
+        // pathological key space from blowing the table up.
+        const NO_SEED: (u32, f64) = (u32::MAX, f64::INFINITY);
+        let mut seeds = std::mem::take(&mut self.seed_buf);
+        seeds.clear();
+        let m_min = merges.iter().map(|&(_, _, m)| m).min().expect("non-empty");
+        let m_span = merges.iter().map(|&(_, _, m)| m).max().expect("non-empty") - m_min + 1;
+        if m_span <= 4 * merges.len() + 16 {
+            seeds.resize(m_span, NO_SEED);
+        }
+        for i in 0..self.entries.len() {
+            let k = self.entries[i].key;
+            let region = self.entries[i].region;
+            let old = self.entries[i].nn.take();
+            let (nn_key, rd, reused_score) = match old {
+                Some(o) if self.pos_of(o.key).is_some() => {
+                    // Neighbor survived: the nearest survivor is unchanged,
+                    // so anything strictly closer in the (already patched)
+                    // main grid is necessarily a new subtree taking over.
+                    // The tight per-cache bound keeps the query local.
+                    match self.grid.nearest_within(k, &region, o.region_dist) {
+                        Some((mk, rd)) => (mk, rd, None),
+                        None => (o.key, o.region_dist, Some(o.score)),
+                    }
+                }
+                old => {
+                    // Consumed neighbor (seeded by its merge result) or a
+                    // new subtree (unseeded): full re-query.
+                    let hint = old
+                        .and_then(|o| {
+                            let ci = consumed.binary_search_by_key(&o.key, |&(c, _)| c).ok()?;
+                            let mk = consumed[ci].1;
+                            let mi = self.pos_of(mk)?;
+                            Some((mk, region.distance(&self.entries[mi].region)))
+                        })
+                        .or_else(|| {
+                            let &(r, rd) = seeds.get(k.checked_sub(m_min)?)?;
+                            (r != u32::MAX).then_some((r as usize, rd))
+                        });
+                    match self.grid.nearest_with_hint(k, &region, hint) {
+                        Some((nk, rd)) => (nk, rd, None),
+                        None => continue, // sole survivor
+                    }
+                }
+            };
+            if let Some(s) = nn_key.checked_sub(m_min).and_then(|i| seeds.get_mut(i)) {
+                if s.0 == u32::MAX {
+                    *s = (k as u32, rd);
+                }
+            }
+            let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+            // Where the pair is new, the partner may still hold its score
+            // (scores are symmetric); only genuinely new pairs pay the
+            // exact-distance refinement — the expensive part of a
+            // from-scratch round.
+            let score = reused_score.unwrap_or_else(|| {
+                match self.pos_of(nn_key).and_then(|j| self.entries[j].nn) {
+                    Some(p) if p.key == k => p.score,
+                    _ => {
+                        let exact = space.distance(k, nn_key);
+                        score_bits(pair_score(space, &self.cfg, lo, hi, exact))
+                    }
+                }
+            });
+            self.entries[i].nn = Some(Nn {
+                key: nn_key,
+                region_dist: rd,
+                score,
+            });
+            staged.push((score, lo, hi));
+        }
+        staged.sort_unstable();
+        staged.dedup();
+        self.sorted_pairs = staged;
+        self.sorted_valid = true;
+        consumed.clear();
+        self.consumed_buf = consumed;
+        self.seed_buf = seeds;
     }
 }
 
@@ -389,7 +1025,7 @@ impl MergePlanner {
 mod tests {
     use super::*;
     use crate::plan::tests::Pts;
-    use crate::MergeOrder;
+    use crate::{plan_round, MergeOrder};
     use astdme_geom::Point;
 
     /// A space whose "merge" welds two points into their midpoint,
@@ -422,7 +1058,9 @@ mod tests {
     }
 
     /// Runs both planners to completion, asserting identical rounds.
-    fn assert_equivalent(n: usize, seed: u64, cfg: TopoConfig) {
+    /// `batched` drives the incremental planner through `apply_round`;
+    /// otherwise per-merge `apply_merge`.
+    fn assert_equivalent_driven(n: usize, seed: u64, cfg: TopoConfig, batched: bool) {
         let mut space = Pts::new(&lcg_coords(n, seed));
         let mut active: Vec<usize> = (0..n).collect();
         let mut planner = MergePlanner::new(&space, &active, cfg);
@@ -434,6 +1072,7 @@ mod tests {
                 reference, incremental,
                 "divergence at round {rounds} (n={n}, seed={seed})"
             );
+            let mut round = Vec::new();
             for (a, b) in reference {
                 let m = midpoint_merge(&mut space, a, b);
                 // Reference active-set maintenance: same swap-remove
@@ -443,12 +1082,24 @@ mod tests {
                     active.swap_remove(i);
                 }
                 active.push(m);
-                planner.apply_merge(&space, a, b, m);
+                if batched {
+                    round.push((a, b, m));
+                } else {
+                    planner.apply_merge(&space, a, b, m);
+                }
+            }
+            if batched {
+                planner.apply_round(&space, &round);
             }
             rounds += 1;
         }
         assert_eq!(planner.len(), 1);
         assert_eq!(planner.sole_key(), active[0]);
+    }
+
+    fn assert_equivalent(n: usize, seed: u64, cfg: TopoConfig) {
+        assert_equivalent_driven(n, seed, cfg, false);
+        assert_equivalent_driven(n, seed, cfg, true);
     }
 
     #[test]
@@ -463,6 +1114,21 @@ mod tests {
             5,
             TopoConfig {
                 order: MergeOrder::MultiMerge { fraction: 0.25 },
+                delay_weight: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    fn equivalent_under_small_fractions_that_avoid_refresh() {
+        // fraction 0.05 keeps rounds below the refresh divisor, pinning
+        // the batched *incremental* sweep (shared bound, one rebuild
+        // check) against the reference.
+        assert_equivalent(
+            130,
+            9,
+            TopoConfig {
+                order: MergeOrder::MultiMerge { fraction: 0.05 },
                 delay_weight: 0.0,
             },
         );
@@ -527,5 +1193,22 @@ mod tests {
         let space = Pts::new(&[(0.0, 0.0), (1.0, 0.0)]);
         let mut planner = MergePlanner::new(&space, &[0, 1], TopoConfig::greedy());
         planner.apply_merge(&space, 0, 7, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate planner key")]
+    fn reusing_a_live_key_is_rejected() {
+        let space = Pts::new(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let mut planner = MergePlanner::new(&space, &[0, 1, 2], TopoConfig::greedy());
+        // "Merging" 0 and 1 into the still-active key 2 must be caught.
+        planner.apply_merge(&space, 0, 1, 2);
+    }
+
+    #[test]
+    fn empty_round_is_a_no_op() {
+        let space = Pts::new(&[(0.0, 0.0), (1.0, 0.0)]);
+        let mut planner = MergePlanner::new(&space, &[0, 1], TopoConfig::greedy());
+        planner.apply_round(&space, &[]);
+        assert_eq!(planner.len(), 2);
     }
 }

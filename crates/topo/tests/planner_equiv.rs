@@ -111,6 +111,39 @@ proptest! {
         prop_assert_eq!(planner.sole_key(), active[0]);
     }
 
+    /// Batched rounds ([`MergePlanner::apply_round`]) produce the same
+    /// merge sequence as reporting every merge individually through
+    /// [`MergePlanner::apply_merge`] — the refresh sweep and the
+    /// point-update path must be observably equivalent.
+    #[test]
+    fn batched_apply_round_matches_sequential(coords in coords_strategy(), cfg in config_strategy()) {
+        let run = |batched: bool| {
+            let mut space = Welds::new(&coords);
+            let mut planner =
+                MergePlanner::new(&space, &(0..coords.len()).collect::<Vec<_>>(), cfg);
+            let mut log = Vec::new();
+            while planner.len() > 1 {
+                let pairs = planner.plan_round(&space);
+                assert!(!pairs.is_empty(), "planner must make progress");
+                let mut round = Vec::new();
+                for (a, b) in pairs {
+                    let m = space.merge(a, b);
+                    log.push((a, b, m));
+                    if batched {
+                        round.push((a, b, m));
+                    } else {
+                        planner.apply_merge(&space, a, b, m);
+                    }
+                }
+                if batched {
+                    planner.apply_round(&space, &round);
+                }
+            }
+            log
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
     /// The planner is deterministic: two independent planners over the
     /// same instance produce identical sequences.
     #[test]

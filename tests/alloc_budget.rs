@@ -1,0 +1,101 @@
+//! Deterministic allocation-budget regression test for the merge hot
+//! path: the bottom-up merge loop (incremental planner + engine expansion)
+//! must stay at O(1) amortized heap allocations per merge — no per-pair
+//! `Scratch`, overlay hash maps, or per-candidate `DelayMap` spills.
+//!
+//! Allocation *counts* are deterministic for a fixed build where timings
+//! are not, so this is the CI-stable form of the `scaling` bench's
+//! `allocs_per_merge` section (same counting-allocator technique).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use astdme::instances::{partition, synthetic_instance};
+use astdme::{run_bottom_up, DelayModel, EngineConfig, Instance, TopoConfig};
+
+/// Twin of the counting allocator in `crates/bench/src/bin/scaling.rs` —
+/// the library crates forbid `unsafe_code`, so each binary hosts its own
+/// copy; keep them counting the same events.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The recorded baseline is ~10-12 allocs/merge (see `allocs_per_merge`
+/// in `BENCH_scaling.json`); the budget leaves headroom for legitimate
+/// drift while still catching a reintroduced per-pair allocation (each
+/// costs tens per merge: merges expand several pairs, and pair-cost
+/// estimation runs per candidate pair).
+const BUDGET_PER_MERGE: f64 = 64.0;
+
+fn instance(n: usize) -> Instance {
+    let p = synthetic_instance(n, 2006, &format!("a{n}"));
+    let inst = partition::intermingled(&p, 4, 2006 ^ 0xBEEF).expect("valid partition");
+    inst.with_groups(
+        inst.groups()
+            .clone()
+            .with_uniform_bound(10e-12)
+            .expect("bound ok"),
+    )
+    .expect("regroup ok")
+}
+
+#[test]
+fn merge_loop_allocations_stay_in_budget() {
+    // Large enough to leave the planner's brute-force regime and trigger
+    // multi-merge refresh sweeps; small enough for a debug-build test.
+    let n = 500;
+    let inst = instance(n);
+    let model = DelayModel::elmore(*inst.rc());
+    let engine = EngineConfig::fast();
+    let count = |topo: &TopoConfig| {
+        let before = ALLOC_COUNT.load(Ordering::Relaxed);
+        let (_forest, _root) = run_bottom_up(&inst, model, engine, topo);
+        ALLOC_COUNT.load(Ordering::Relaxed) - before
+    };
+    for (name, topo) in [
+        ("greedy", TopoConfig::greedy()),
+        ("multi_merge", TopoConfig::default()),
+    ] {
+        let first = count(&topo);
+        let second = count(&topo);
+        // The routing itself is deterministic, but the counter is
+        // process-global and the test harness keeps service threads (its
+        // watchdog allocates a handful of times), so two runs may differ
+        // by a few strays — never by a reintroduced per-pair allocation,
+        // which costs thousands here.
+        assert!(
+            first.abs_diff(second) <= 32,
+            "{name}: allocation counts diverged beyond harness noise \
+             ({first} vs {second})"
+        );
+        let per_merge = first.min(second) as f64 / (n - 1) as f64;
+        assert!(
+            per_merge <= BUDGET_PER_MERGE,
+            "{name}: {per_merge:.2} allocs/merge exceeds the {BUDGET_PER_MERGE} budget \
+             ({} allocations over {} merges)",
+            first.min(second),
+            n - 1
+        );
+    }
+}
