@@ -24,9 +24,16 @@
 //! expansion fan-out (incremental planner, greedy order, thorough engine
 //! preset so each merge expands enough pairs to fan out): "parallel" runs
 //! with auto thread count, "serial" forces one thread through
-//! [`astdme_par::set_thread_override`] — byte-for-byte the serial code
+//! `astdme_par::set_thread_override` — byte-for-byte the serial code
 //! path. Both must route identical wirelength; the speedup lands in the
 //! `parallel_speedups` JSON section (≈1.0 on single-core machines).
+//!
+//! Every run also emits a `batch_throughput` section: a portfolio of
+//! distinct instances routed through the fleet layer
+//! (`astdme_core::route_batch`, instance-level fan-out) vs a sequential
+//! `route_traced` loop, recording instances/sec and the batch-vs-
+//! sequential speedup. Wirelengths must match to the last bit — the fleet
+//! layer changes scheduling, never trees.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,7 +41,8 @@ use std::time::Instant;
 
 use astdme_bench::{json, PAPER_BOUND};
 use astdme_core::{
-    run_bottom_up, run_bottom_up_from_scratch, DelayModel, EngineConfig, Instance, TopoConfig,
+    route_batch, run_bottom_up, run_bottom_up_from_scratch, AstDme, ClockRouter, DelayModel,
+    EngineConfig, Instance, TopoConfig,
 };
 use astdme_instances::{partition, synthetic_instance};
 
@@ -120,8 +128,12 @@ struct ParMeasurement {
 }
 
 fn instance(n: usize) -> Instance {
-    let p = synthetic_instance(n, SEED, &format!("s{n}"));
-    let inst = partition::intermingled(&p, GROUPS, SEED ^ 0xBEEF).expect("valid partition");
+    instance_seeded(n, SEED)
+}
+
+fn instance_seeded(n: usize, seed: u64) -> Instance {
+    let p = synthetic_instance(n, seed, &format!("s{n}"));
+    let inst = partition::intermingled(&p, GROUPS, seed ^ 0xBEEF).expect("valid partition");
     inst.with_groups(
         inst.groups()
             .clone()
@@ -245,7 +257,7 @@ fn measure_allocs(n: usize, inst: &Instance) -> Vec<AllocMeasurement> {
 /// route identical wirelength — the determinism the proptests pin down,
 /// witnessed end-to-end at bench scale.
 ///
-/// Each variant is timed [`PAR_REPS`] times in alternating order and the
+/// Each variant is timed `PAR_REPS` times in alternating order and the
 /// minimum is kept: a single fixed-order sample bakes run-order bias
 /// (allocator/page-cache warmth) into the recorded speedup, which showed
 /// up as phantom 5-30% deltas between byte-identical code paths.
@@ -306,10 +318,99 @@ fn measure_parallel(_n: usize, _inst: &Instance) -> Vec<ParMeasurement> {
     Vec::new()
 }
 
+/// One batch-throughput measurement: a portfolio of distinct instances
+/// routed end-to-end through the fleet layer ([`route_batch`]) vs a
+/// sequential `route_traced` loop over the same instances.
+#[derive(Debug, Clone)]
+struct BatchMeasurement {
+    n: usize,
+    instances: usize,
+    batch_seconds: f64,
+    sequential_seconds: f64,
+    instances_per_sec: f64,
+    speedup: f64,
+}
+
+/// Measures fleet-layer throughput over a portfolio of `BATCH_INSTANCES`
+/// distinct instances at size `n` (full AST-DME routes, fast preset).
+/// Both paths are timed `BATCH_REPS` times in alternating order and the
+/// minimum kept — the same discipline as [`measure`] — and every outcome's
+/// wirelength must match the sequential reference to the last bit (the
+/// fleet layer changes scheduling, never trees). On a single-core machine
+/// `route_batch` takes its serial fallback, so the speedup sits at ~1.0 by
+/// construction; on multicore the instance fan-out engages (with nested
+/// engine parallelism forced serial by `astdme_par`'s worker guard).
+fn measure_batch(n: usize) -> BatchMeasurement {
+    const BATCH_INSTANCES: usize = 6;
+    const BATCH_REPS: usize = 5;
+    let router = AstDme::new().with_engine(EngineConfig::fast());
+    let instances: Vec<Instance> = (0..BATCH_INSTANCES)
+        .map(|i| instance_seeded(n, SEED.wrapping_add(1 + i as u64)))
+        .collect();
+    // Reference wirelengths (and warmup) from one sequential pass.
+    let reference: Vec<f64> = instances
+        .iter()
+        .map(|inst| {
+            router
+                .route_traced(inst)
+                .expect("routes")
+                .report
+                .wirelength()
+        })
+        .collect();
+    let check = |wls: &[f64], label: &str| {
+        assert_eq!(wls.len(), reference.len());
+        for (i, (&wl, &expected)) in wls.iter().zip(&reference).enumerate() {
+            assert!(
+                wl == expected,
+                "{label} diverged at n={n} instance {i}: {wl} vs {expected}"
+            );
+        }
+    };
+    let mut best = [f64::INFINITY; 2]; // [sequential, batch]
+    for _rep in 0..BATCH_REPS {
+        let t0 = Instant::now();
+        let wls: Vec<f64> = instances
+            .iter()
+            .map(|inst| {
+                router
+                    .route_traced(inst)
+                    .expect("routes")
+                    .report
+                    .wirelength()
+            })
+            .collect();
+        best[0] = best[0].min(t0.elapsed().as_secs_f64());
+        check(&wls, "sequential loop");
+
+        let t0 = Instant::now();
+        let wls: Vec<f64> = route_batch(&instances, &router)
+            .into_iter()
+            .map(|out| out.expect("routes").report.wirelength())
+            .collect();
+        best[1] = best[1].min(t0.elapsed().as_secs_f64());
+        check(&wls, "route_batch");
+    }
+    let m = BatchMeasurement {
+        n,
+        instances: BATCH_INSTANCES,
+        batch_seconds: best[1],
+        sequential_seconds: best[0],
+        instances_per_sec: BATCH_INSTANCES as f64 / best[1],
+        speedup: best[0] / best[1],
+    };
+    eprintln!(
+        "n={n:>6} batch x{BATCH_INSTANCES}  batch {:.3}s  sequential {:.3}s  {:.2} inst/s  speedup {:.3}",
+        m.batch_seconds, m.sequential_seconds, m.instances_per_sec, m.speedup
+    );
+    m
+}
+
 fn to_json(
     measurements: &[Measurement],
     allocs: &[AllocMeasurement],
     par: &[ParMeasurement],
+    batch: &[BatchMeasurement],
 ) -> String {
     let items: Vec<String> = measurements
         .iter()
@@ -405,13 +506,33 @@ fn to_json(
             ));
         }
     }
+    // Fleet-layer throughput: route_batch vs the sequential loop.
+    let batch_items: Vec<String> = batch
+        .iter()
+        .map(|m| {
+            json::object(
+                &[
+                    json::field("n", format!("{}", m.n)),
+                    json::field("instances", format!("{}", m.instances)),
+                    json::field("router", json::quote("AST-DME")),
+                    json::field("engine", json::quote("fast")),
+                    json::field("batch_seconds", json::number(m.batch_seconds)),
+                    json::field("sequential_seconds", json::number(m.sequential_seconds)),
+                    json::field("instances_per_sec", json::number(m.instances_per_sec)),
+                    json::field("speedup", json::number(m.speedup)),
+                ],
+                4,
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {},\n  \"allocs_per_merge\": {},\n  \"parallel_expansion\": {},\n  \"parallel_speedups\": {}\n}}\n",
+        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {},\n  \"allocs_per_merge\": {},\n  \"parallel_expansion\": {},\n  \"parallel_speedups\": {},\n  \"batch_throughput\": {}\n}}\n",
         json::array(&items, 2),
         json::array(&summaries, 2),
         json::array(&alloc_items, 2),
         json::array(&par_items, 2),
-        json::array(&par_summaries, 2)
+        json::array(&par_summaries, 2),
+        json::array(&batch_items, 2)
     )
 }
 
@@ -450,7 +571,18 @@ fn main() {
         alloc_measurements.extend(measure_allocs(n, &inst));
         par_measurements.extend(measure_parallel(n, &inst));
     }
-    let doc = to_json(&measurements, &alloc_measurements, &par_measurements);
+    // Fleet throughput is one portfolio at the smallest requested size:
+    // the batch-vs-sequential comparison is about the fan-out layer, not
+    // the per-instance cost the sections above already track.
+    let batch_measurements = vec![measure_batch(
+        sizes.iter().copied().min().expect("at least one size"),
+    )];
+    let doc = to_json(
+        &measurements,
+        &alloc_measurements,
+        &par_measurements,
+        &batch_measurements,
+    );
     std::fs::write(&out_path, &doc).expect("write BENCH_scaling.json");
     eprintln!("wrote {out_path}");
 
@@ -486,5 +618,14 @@ fn main() {
                 m.n, m.expansion, m.threads, m.seconds, m.wirelength_um
             );
         }
+    }
+    println!();
+    println!("| n | instances | batch (s) | sequential (s) | inst/s | speedup |");
+    println!("|---|-----------|-----------|----------------|--------|---------|");
+    for m in &batch_measurements {
+        println!(
+            "| {} | {} | {:.3} | {:.3} | {:.2} | {:.3} |",
+            m.n, m.instances, m.batch_seconds, m.sequential_seconds, m.instances_per_sec, m.speedup
+        );
     }
 }

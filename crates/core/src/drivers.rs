@@ -1,7 +1,5 @@
 //! The bottom-up driving loop shared by all routers.
 
-use std::collections::HashMap;
-
 use astdme_delay::DelayModel;
 use astdme_engine::{EngineConfig, Instance, MergeForest, NodeId};
 use astdme_geom::Trr;
@@ -43,6 +41,26 @@ impl MergeSpace for ForestSpace<'_> {
     }
 }
 
+/// Round and merge counters of one [`merge_until_one_traced`] run, the
+/// raw material of the pipeline's merge-stage
+/// [`StageStats`](crate::StageStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeTrace {
+    /// Planning rounds executed.
+    pub rounds: usize,
+    /// Merges performed (over `n` subtrees, always `n - 1`).
+    pub merges: usize,
+}
+
+impl MergeTrace {
+    /// Accumulates another loop's counters (per-group merge scripts run
+    /// several loops over one forest).
+    pub fn absorb(&mut self, other: MergeTrace) {
+        self.rounds += other.rounds;
+        self.merges += other.merges;
+    }
+}
+
 /// Runs the bottom-up merge loop over `start` until a single subtree
 /// remains, merging pairs chosen by the incremental
 /// [`MergePlanner`] each round.
@@ -55,9 +73,20 @@ impl MergeSpace for ForestSpace<'_> {
 /// Returns the surviving root. `start` must be non-empty; a single node is
 /// returned unchanged.
 pub fn merge_until_one(forest: &mut MergeForest, start: Vec<NodeId>, topo: &TopoConfig) -> NodeId {
+    merge_until_one_traced(forest, start, topo).0
+}
+
+/// [`merge_until_one`] with round/merge counters — the entry point the
+/// staged pipeline uses so its merge-stage stats are measured inside the
+/// loop, not guessed from the outside.
+pub fn merge_until_one_traced(
+    forest: &mut MergeForest,
+    start: Vec<NodeId>,
+    topo: &TopoConfig,
+) -> (NodeId, MergeTrace) {
     assert!(!start.is_empty(), "need at least one subtree to merge");
     if start.len() == 1 {
-        return start[0];
+        return (start[0], MergeTrace::default());
     }
     let keys: Vec<usize> = start.iter().map(|n| n.index()).collect();
     // Phase timing is gated on the env var so the unprofiled hot loop pays
@@ -73,6 +102,7 @@ pub fn merge_until_one(forest: &mut MergeForest, start: Vec<NodeId>, topo: &Topo
     let t0 = clock(profile);
     let mut planner = MergePlanner::new(&ForestSpace::new(forest), &keys, *topo);
     lap(t0, &mut t_new);
+    let mut trace = MergeTrace::default();
     let mut round: Vec<(usize, usize, usize)> = Vec::new();
     while planner.len() > 1 {
         let t0 = clock(profile);
@@ -89,13 +119,15 @@ pub fn merge_until_one(forest: &mut MergeForest, start: Vec<NodeId>, topo: &Topo
         let t0 = clock(profile);
         planner.apply_round(&ForestSpace::new(forest), &round);
         lap(t0, &mut t_apply);
+        trace.rounds += 1;
+        trace.merges += round.len();
     }
     if profile {
         eprintln!(
             "[profile] new {t_new:.4}s plan {t_plan:.4}s engine {t_engine:.4}s apply {t_apply:.4}s"
         );
     }
-    NodeId::from_index(planner.sole_key())
+    (NodeId::from_index(planner.sole_key()), trace)
 }
 
 /// The from-scratch reference driver: re-plans every round with
@@ -110,13 +142,24 @@ pub fn merge_until_one_from_scratch(
     topo: &TopoConfig,
 ) -> NodeId {
     assert!(!start.is_empty(), "need at least one subtree to merge");
+    /// Sentinel in the dense position table: the key is not active.
+    const NO_POS: u32 = u32::MAX;
     let mut active: Vec<usize> = start.iter().map(|n| n.index()).collect();
     // Dense active set with a position map: removal is swap_remove, and
     // crucially the *same* swap_remove discipline the incremental planner
     // uses, so both drivers present identical orderings to the planner
-    // (which matters only for exact ties).
-    let mut pos: HashMap<usize, usize> = active.iter().enumerate().map(|(i, &k)| (k, i)).collect();
-    assert_eq!(pos.len(), active.len(), "start subtrees must be distinct");
+    // (which matters only for exact ties). The table is the planner's
+    // dense `Vec` key-table pattern — forest node indices are dense, so a
+    // flat vector with a sentinel replaces the old `HashMap` (and each
+    // merge grows the key space by exactly one, so the resize below
+    // amortizes to a push).
+    let max_key = active.iter().copied().max().expect("start is non-empty");
+    assert!(max_key < NO_POS as usize, "node indices must fit u32");
+    let mut pos: Vec<u32> = vec![NO_POS; max_key + 1];
+    for (i, &k) in active.iter().enumerate() {
+        assert!(pos[k] == NO_POS, "start subtrees must be distinct");
+        pos[k] = i as u32;
+    }
     while active.len() > 1 {
         let pairs = {
             let space = ForestSpace::new(forest);
@@ -126,14 +169,21 @@ pub fn merge_until_one_from_scratch(
         for (a, b) in pairs {
             let m = forest.merge(NodeId::from_index(a), NodeId::from_index(b));
             for x in [a, b] {
-                let i = pos.remove(&x).expect("planned pair is active");
+                assert!(pos[x] != NO_POS, "planned pair is active");
+                let i = pos[x] as usize;
+                pos[x] = NO_POS;
                 active.swap_remove(i);
                 if i < active.len() {
-                    pos.insert(active[i], i);
+                    pos[active[i]] = i as u32;
                 }
             }
-            pos.insert(m.index(), active.len());
-            active.push(m.index());
+            let mk = m.index();
+            if mk >= pos.len() {
+                pos.resize(mk + 1, NO_POS);
+            }
+            assert!(pos[mk] == NO_POS, "merge result key already active");
+            pos[mk] = active.len() as u32;
+            active.push(mk);
         }
     }
     NodeId::from_index(active[0])

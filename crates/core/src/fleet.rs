@@ -1,0 +1,99 @@
+//! The fleet layer: batch routing of whole instance portfolios.
+//!
+//! The paper's evaluation routes a portfolio — every circuit × group count
+//! × router — and a production deployment serves many scenarios
+//! concurrently. [`route_batch`] is the one entry point for that shape of
+//! work: it fans **whole instances** out across threads via
+//! [`astdme_par::par_map`] and returns outcomes in input order, so results
+//! are bit-identical to a sequential loop at every thread count.
+//!
+//! Instance-level fan-out composes safely with the engine's own `parallel`
+//! feature: `par_map` workers are marked, and any nested fan-out (the
+//! engine's candidate-pair expansion) takes its serial fallback on a
+//! worker thread — one layer of threads, never a multiplication. Nested
+//! execution is byte-for-byte the serial schedule, so the guard changes
+//! scheduling only, never output.
+
+use astdme_engine::Instance;
+
+use crate::pipeline::RouteOutcome;
+use crate::{ClockRouter, RouteError};
+
+/// Minimum batch size before instances fan out across threads: a single
+/// instance gains nothing from the fork-join overhead.
+const MIN_BATCH_FANOUT: usize = 2;
+
+/// Routes every instance in `instances` through `router`, fanning
+/// instances out across threads.
+///
+/// Results come back **in input order**, one per instance, each carrying
+/// the routed tree plus its audit report and per-stage stats
+/// ([`RouteOutcome`]). The output is bit-identical to
+/// `instances.iter().map(|i| router.route_traced(i))` at every thread
+/// count (including the [`astdme_par::set_thread_override`] settings the
+/// determinism tests sweep): parallelism changes scheduling, never trees.
+///
+/// Errors are per-instance — one invalid instance does not poison the
+/// rest of the batch.
+pub fn route_batch<R>(instances: &[Instance], router: &R) -> Vec<Result<RouteOutcome, RouteError>>
+where
+    R: ClockRouter + Sync + ?Sized,
+{
+    astdme_par::par_map(instances, MIN_BATCH_FANOUT, |inst| {
+        router.route_traced(inst)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AstDme, Groups, RcParams, Sink};
+    use astdme_geom::Point;
+
+    fn inst(n: usize, jitter: f64) -> Instance {
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| {
+                Sink::new(
+                    Point::new(600.0 * i as f64 + jitter, (i % 4) as f64 * 300.0),
+                    1e-14,
+                )
+            })
+            .collect();
+        let assignment: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        Instance::new(
+            sinks,
+            Groups::from_assignments(assignment, 2).unwrap(),
+            RcParams::default(),
+            Point::new(0.0, 3000.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop_in_order() {
+        let instances: Vec<Instance> = (0..4).map(|i| inst(8 + i, 37.0 * i as f64)).collect();
+        let router = AstDme::new();
+        let batch = route_batch(&instances, &router);
+        assert_eq!(batch.len(), instances.len());
+        for (i, (out, inst)) in batch.iter().zip(&instances).enumerate() {
+            let seq = router.route_traced(inst).expect("routes");
+            let out = out.as_ref().expect("routes");
+            assert_eq!(out.tree, seq.tree, "instance {i} diverged");
+            assert_eq!(out.report, seq.report, "instance {i} report diverged");
+        }
+    }
+
+    #[test]
+    fn batch_works_through_a_trait_object() {
+        let instances: Vec<Instance> = (0..2).map(|i| inst(6, i as f64)).collect();
+        let router: &(dyn ClockRouter + Sync) = &AstDme::new();
+        let batch = route_batch(instances.as_slice(), router);
+        assert!(batch.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = route_batch(&[], &AstDme::new());
+        assert!(batch.is_empty());
+    }
+}

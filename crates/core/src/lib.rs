@@ -9,13 +9,13 @@
 //!   skew enforced only *within* each sink group, with merging allowed
 //!   across groups (SDR merges), wire snaking, and offset adjustment for
 //!   partially shared groups.
-//! * [`ExtBst`] — the paper's baseline: bounded-skew routing ([4], Cong et
+//! * [`ExtBst`] — the paper's baseline: bounded-skew routing (\[4\], Cong et
 //!   al.) with a single global bound (10 ps in the paper's tables), which
 //!   trivially satisfies any intra-group constraint.
 //! * [`GreedyDme`] — classic zero-skew routing (Edahiro's greedy-DME):
 //!   the strictest discipline, one global group at bound zero.
 //! * [`StitchPerGroup`] — the construct-separately-then-stitch strawman of
-//!   the earlier associative-skew work ([12]), used to reproduce the
+//!   the earlier associative-skew work (\[12\]), used to reproduce the
 //!   observation of the paper's Fig. 2.
 //!
 //! All four implement [`ClockRouter`]; results are
@@ -47,13 +47,17 @@
 
 mod drivers;
 mod error;
+pub mod fleet;
+pub mod pipeline;
 mod routers;
 
 pub use drivers::{
-    merge_until_one, merge_until_one_from_scratch, run_bottom_up, run_bottom_up_from_scratch,
-    ForestSpace,
+    merge_until_one, merge_until_one_from_scratch, merge_until_one_traced, run_bottom_up,
+    run_bottom_up_from_scratch, ForestSpace, MergeTrace,
 };
 pub use error::RouteError;
+pub use fleet::route_batch;
+pub use pipeline::{GroupingStage, MergeStage, RouteOutcome, RouteStats, StagePlan, StageStats};
 pub use routers::{AstDme, ClockRouter, ExtBst, GreedyDme, StitchPerGroup};
 
 // The full modelling vocabulary, so downstream users need only this crate.

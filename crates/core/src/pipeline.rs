@@ -1,0 +1,311 @@
+//! The staged routing pipeline every router runs through.
+//!
+//! All four routers used to carry bespoke `route()` bodies that repeated
+//! the same flow with small variations. The flow is now explicit — five
+//! stages, each timed:
+//!
+//! 1. **group** — derive the instance the tree is routed against (keep the
+//!    instance's own groups, or collapse to one global group with an
+//!    optional bound);
+//! 2. **merge** — build the merge forest and run the bottom-up planning
+//!    loop (flat, or per-group-then-stitch);
+//! 3. **embed** — top-down embedding of the surviving root into a
+//!    [`RoutedTree`];
+//! 4. **repair** — the post-embedding skew repair pass, skipped when the
+//!    engine reports no residual;
+//! 5. **audit** — independent verification against the *original*
+//!    instance and the routing model.
+//!
+//! A router is just a [`StagePlan`] — the stage configuration — and
+//! [`run`] is the one body that executes it. [`RouteOutcome`] carries the
+//! tree together with the audit report and per-stage [`StageStats`], so
+//! harnesses (the bench tables, the fleet layer, `examples/fleet.rs`) stop
+//! hand-timing routers from the outside.
+
+use std::time::Instant;
+
+use astdme_delay::DelayModel;
+use astdme_engine::{
+    audit, repair_group_skew, AuditReport, EngineConfig, GroupId, Groups, Instance, MergeForest,
+    RoutedTree,
+};
+use astdme_topo::TopoConfig;
+
+use crate::drivers::{merge_until_one_traced, MergeTrace};
+use crate::RouteError;
+
+/// Iteration budget for the post-embedding skew repair pass.
+const REPAIR_ITERS: usize = 80;
+
+/// Wall-clock and work counters for one pipeline stage. Fields that do
+/// not apply to a stage (e.g. `rounds` outside the merge stage) stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageStats {
+    /// Wall-clock seconds spent in the stage.
+    pub seconds: f64,
+    /// Planning rounds executed (merge stage only).
+    pub rounds: usize,
+    /// Merges performed (merge stage only).
+    pub merges: usize,
+    /// Iterations of the skew-repair loop (repair stage only; zero when
+    /// the stage was a no-op).
+    pub repair_iterations: usize,
+}
+
+/// Per-stage statistics of one routing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RouteStats {
+    /// Stage 1: deriving the routed-against instance.
+    pub group: StageStats,
+    /// Stage 2: forest construction plus the bottom-up merge loop.
+    pub merge: StageStats,
+    /// Stage 3: top-down embedding.
+    pub embed: StageStats,
+    /// Stage 4: post-embedding skew repair (no-op on cleanly solved
+    /// instances).
+    pub repair: StageStats,
+    /// Stage 5: the independent audit.
+    pub audit: StageStats,
+}
+
+impl RouteStats {
+    /// Wall-clock of the routing stages proper (group through repair) —
+    /// what an external timer around [`crate::ClockRouter::route`] used to
+    /// measure, excluding the audit stage.
+    pub fn route_seconds(&self) -> f64 {
+        self.group.seconds + self.merge.seconds + self.embed.seconds + self.repair.seconds
+    }
+
+    /// Wall-clock of the whole pipeline including the audit stage.
+    pub fn total_seconds(&self) -> f64 {
+        self.route_seconds() + self.audit.seconds
+    }
+}
+
+/// The result of a traced routing run: the tree, the independent audit of
+/// it (against the original instance and the routing model), and the
+/// per-stage statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOutcome {
+    /// The routed tree — exactly what [`crate::ClockRouter::route`]
+    /// returns.
+    pub tree: RoutedTree,
+    /// Independent audit of `tree` against the original instance.
+    pub report: AuditReport,
+    /// Per-stage wall-clock and work counters.
+    pub stats: RouteStats,
+}
+
+/// Stage 1 configuration: which instance the tree is routed against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupingStage {
+    /// Route against the instance's own groups (AST-DME).
+    Keep,
+    /// Collapse every sink into one global group: zero-skew when `bound`
+    /// is `None` (greedy-DME, stitching), bounded-skew otherwise
+    /// (EXT-BST).
+    Single {
+        /// The global skew bound, or `None` for zero skew.
+        bound: Option<f64>,
+    },
+}
+
+/// Stage 2 configuration: how the bottom-up merge loop covers the leaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergeStage {
+    /// One loop over all leaves (every router except stitching).
+    Flat,
+    /// Finish each of the *original* instance's groups before any
+    /// cross-group merge (the stitch-per-group strawman).
+    PerGroupThenStitch,
+}
+
+/// A router expressed as stage configuration: everything [`run`] needs to
+/// execute the five-stage pipeline. The four [`crate::ClockRouter`]
+/// implementations are thin builders of this struct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagePlan {
+    /// Delay model override; `None` means Elmore over the instance's RC.
+    pub model: Option<DelayModel>,
+    /// Engine configuration (candidate budgets, skew tolerance).
+    pub engine: EngineConfig,
+    /// Merge-order configuration.
+    pub topo: TopoConfig,
+    /// Stage 1: grouping.
+    pub grouping: GroupingStage,
+    /// Stage 2: merge coverage.
+    pub merge: MergeStage,
+}
+
+/// Executes the staged pipeline over `inst`.
+///
+/// Produces exactly the tree the pre-pipeline bespoke router bodies
+/// produced (the stages are the same operations in the same order); the
+/// outcome additionally carries the audit and the per-stage stats.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if a derived re-grouping is invalid.
+pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError> {
+    let mut stats = RouteStats::default();
+
+    // Stage 1: group.
+    let t0 = Instant::now();
+    let regrouped = match plan.grouping {
+        GroupingStage::Keep => None,
+        GroupingStage::Single { bound } => {
+            let mut groups = Groups::single(inst.sink_count())?;
+            if let Some(b) = bound {
+                groups = groups.with_uniform_bound(b)?;
+            }
+            Some(inst.with_groups(groups)?)
+        }
+    };
+    let routed_against = regrouped.as_ref().unwrap_or(inst);
+    let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
+    stats.group.seconds = t0.elapsed().as_secs_f64();
+
+    // Stage 2: plan/merge.
+    let t0 = Instant::now();
+    let mut forest = MergeForest::for_instance_with_model(routed_against, model, plan.engine);
+    let leaves = forest.leaves();
+    let (root, trace) = match plan.merge {
+        MergeStage::Flat => merge_until_one_traced(&mut forest, leaves, &plan.topo),
+        MergeStage::PerGroupThenStitch => {
+            let mut trace = MergeTrace::default();
+            let mut group_roots = Vec::with_capacity(inst.groups().group_count());
+            for g in 0..inst.groups().group_count() {
+                let members: Vec<_> = inst
+                    .groups()
+                    .members(GroupId(g as u32))
+                    .iter()
+                    .map(|&s| leaves[s])
+                    .collect();
+                let (root, t) = merge_until_one_traced(&mut forest, members, &plan.topo);
+                trace.absorb(t);
+                group_roots.push(root);
+            }
+            let (root, t) = merge_until_one_traced(&mut forest, group_roots, &plan.topo);
+            trace.absorb(t);
+            (root, trace)
+        }
+    };
+    stats.merge = StageStats {
+        seconds: t0.elapsed().as_secs_f64(),
+        rounds: trace.rounds,
+        merges: trace.merges,
+        repair_iterations: 0,
+    };
+
+    // Stage 3: embed.
+    let t0 = Instant::now();
+    let tree = forest.embed(root, routed_against.source());
+    stats.embed.seconds = t0.elapsed().as_secs_f64();
+
+    // Stage 4: repair. The pass snakes leaf edges when a deep offset
+    // conflict left residual skew (see [`repair_group_skew`]); on cleanly
+    // solved instances it is skipped outright.
+    let t0 = Instant::now();
+    let tree = if forest.residual() <= plan.engine.skew_tol {
+        tree
+    } else {
+        let repaired = repair_group_skew(
+            &tree,
+            routed_against,
+            &model,
+            plan.engine.skew_tol,
+            REPAIR_ITERS,
+        );
+        stats.repair.repair_iterations = repaired.iterations;
+        repaired.tree
+    };
+    stats.repair.seconds = t0.elapsed().as_secs_f64();
+
+    // Stage 5: audit — against the *original* instance, so the report's
+    // per-group skews refer to the groups the caller asked about, not a
+    // relaxed routing surrogate.
+    let t0 = Instant::now();
+    let report = audit(&tree, inst, &model);
+    stats.audit.seconds = t0.elapsed().as_secs_f64();
+
+    Ok(RouteOutcome {
+        tree,
+        report,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astdme_delay::RcParams;
+    use astdme_engine::Sink;
+    use astdme_geom::Point;
+
+    fn inst(n: usize, k: usize) -> Instance {
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| Sink::new(Point::new(700.0 * i as f64, (i % 3) as f64 * 250.0), 1e-14))
+            .collect();
+        let assignment: Vec<usize> = (0..n).map(|i| i % k).collect();
+        Instance::new(
+            sinks,
+            Groups::from_assignments(assignment, k).unwrap(),
+            RcParams::default(),
+            Point::new(0.0, 4000.0),
+        )
+        .unwrap()
+    }
+
+    fn ast_plan() -> StagePlan {
+        StagePlan {
+            model: None,
+            engine: EngineConfig::default(),
+            topo: TopoConfig::default(),
+            grouping: GroupingStage::Keep,
+            merge: MergeStage::Flat,
+        }
+    }
+
+    #[test]
+    fn pipeline_counts_rounds_and_merges() {
+        let out = run(&inst(9, 3), &ast_plan()).unwrap();
+        assert_eq!(out.tree.sink_nodes().count(), 9);
+        // n leaves merge down to one root: exactly n - 1 merges.
+        assert_eq!(out.stats.merge.merges, 8);
+        assert!(out.stats.merge.rounds >= 1);
+        assert!(out.stats.merge.rounds <= out.stats.merge.merges);
+        assert!(out.stats.route_seconds() <= out.stats.total_seconds());
+    }
+
+    #[test]
+    fn audit_stage_reports_against_original_groups() {
+        // A zero-bound grouped instance routed as one global zero-skew
+        // group: intra-group skew (of the original groups) must be ~0.
+        let out = run(
+            &inst(8, 2),
+            &StagePlan {
+                grouping: GroupingStage::Single { bound: None },
+                ..ast_plan()
+            },
+        )
+        .unwrap();
+        assert!(out.report.max_intra_group_skew() < 1e-16);
+        assert!(out.report.global_skew() < 1e-16);
+    }
+
+    #[test]
+    fn per_group_script_counts_all_subloops() {
+        let out = run(
+            &inst(10, 2),
+            &StagePlan {
+                grouping: GroupingStage::Single { bound: None },
+                merge: MergeStage::PerGroupThenStitch,
+                ..ast_plan()
+            },
+        )
+        .unwrap();
+        // Two groups of five (4 merges each) plus the stitch (1 merge).
+        assert_eq!(out.stats.merge.merges, 9);
+        assert_eq!(out.tree.sink_nodes().count(), 10);
+    }
+}

@@ -1,31 +1,15 @@
 //! The four routers: AST-DME and its baselines.
+//!
+//! Every router is a thin stage configuration — a
+//! [`StagePlan`](crate::pipeline::StagePlan) — over the shared
+//! [`pipeline`](crate::pipeline): the bespoke `route()` bodies are gone.
 
 use astdme_delay::DelayModel;
-use astdme_engine::{repair_group_skew, EngineConfig, Groups, Instance, MergeForest, RoutedTree};
+use astdme_engine::{EngineConfig, Instance, RoutedTree};
 use astdme_topo::TopoConfig;
 
-use crate::drivers::{merge_until_one, run_bottom_up};
+use crate::pipeline::{self, GroupingStage, MergeStage, RouteOutcome, StagePlan};
 use crate::RouteError;
-
-/// Iteration budget for the post-embedding skew repair pass.
-const REPAIR_ITERS: usize = 80;
-
-/// Embeds + repairs: common tail of every router. The repair pass snakes
-/// leaf edges when a deep offset conflict left residual skew (see
-/// [`repair_group_skew`]); on cleanly solved instances it is a no-op.
-fn finish(
-    forest: &MergeForest,
-    root: astdme_engine::NodeId,
-    routed_against: &Instance,
-    model: &DelayModel,
-    skew_tol: f64,
-) -> RoutedTree {
-    let tree = forest.embed(root, routed_against.source());
-    if forest.residual() <= skew_tol {
-        return tree;
-    }
-    repair_group_skew(&tree, routed_against, model, skew_tol, REPAIR_ITERS).tree
-}
 
 /// A clock-tree router: consumes an [`Instance`], produces a
 /// [`RoutedTree`].
@@ -33,13 +17,27 @@ fn finish(
 /// All implementations in this crate are deterministic: the same instance
 /// yields the same tree.
 pub trait ClockRouter {
-    /// Routes the instance.
+    /// Routes the instance through the staged pipeline, returning the
+    /// tree together with its audit report and per-stage statistics.
     ///
     /// # Errors
     ///
     /// Returns [`RouteError`] if the instance (or a derived re-grouping)
     /// is invalid or a router parameter is out of range.
-    fn route(&self, inst: &Instance) -> Result<RoutedTree, RouteError>;
+    fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError>;
+
+    /// Routes the instance.
+    ///
+    /// The default implementation runs [`ClockRouter::route_traced`] and
+    /// keeps only the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] if the instance (or a derived re-grouping)
+    /// is invalid or a router parameter is out of range.
+    fn route(&self, inst: &Instance) -> Result<RoutedTree, RouteError> {
+        Ok(self.route_traced(inst)?.tree)
+    }
 
     /// A short, stable name for tables and logs.
     fn name(&self) -> &'static str;
@@ -100,7 +98,7 @@ impl AstDme {
     }
 
     /// Overrides the delay model (e.g. [`DelayModel::Pathlength`] to
-    /// reproduce the primitive model of the earlier work [12]).
+    /// reproduce the primitive model of the earlier work \[12\]).
     pub fn with_model(mut self, model: DelayModel) -> Self {
         self.model = Some(model);
         self
@@ -114,10 +112,17 @@ impl Default for AstDme {
 }
 
 impl ClockRouter for AstDme {
-    fn route(&self, inst: &Instance) -> Result<RoutedTree, RouteError> {
-        let model = self.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-        let (forest, root) = run_bottom_up(inst, model, self.engine, &self.topo);
-        Ok(finish(&forest, root, inst, &model, self.engine.skew_tol))
+    fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
+        pipeline::run(
+            inst,
+            &StagePlan {
+                model: self.model,
+                engine: self.engine,
+                topo: self.topo,
+                grouping: GroupingStage::Keep,
+                merge: MergeStage::Flat,
+            },
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -173,24 +178,25 @@ impl ExtBst {
 }
 
 impl ClockRouter for ExtBst {
-    fn route(&self, inst: &Instance) -> Result<RoutedTree, RouteError> {
+    fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
         if self.bound.is_nan() || self.bound < 0.0 {
             return Err(RouteError::BadParameter(format!(
                 "global skew bound must be non-negative, got {}",
                 self.bound
             )));
         }
-        let single = Groups::single(inst.sink_count())?.with_uniform_bound(self.bound)?;
-        let relaxed = inst.with_groups(single)?;
-        let model = self.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-        let (forest, root) = run_bottom_up(&relaxed, model, self.engine, &self.topo);
-        Ok(finish(
-            &forest,
-            root,
-            &relaxed,
-            &model,
-            self.engine.skew_tol,
-        ))
+        pipeline::run(
+            inst,
+            &StagePlan {
+                model: self.model,
+                engine: self.engine,
+                topo: self.topo,
+                grouping: GroupingStage::Single {
+                    bound: Some(self.bound),
+                },
+                merge: MergeStage::Flat,
+            },
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -244,11 +250,17 @@ impl Default for GreedyDme {
 }
 
 impl ClockRouter for GreedyDme {
-    fn route(&self, inst: &Instance) -> Result<RoutedTree, RouteError> {
-        let zst = inst.with_groups(Groups::single(inst.sink_count())?)?;
-        let model = self.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-        let (forest, root) = run_bottom_up(&zst, model, self.engine, &self.topo);
-        Ok(finish(&forest, root, &zst, &model, self.engine.skew_tol))
+    fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
+        pipeline::run(
+            inst,
+            &StagePlan {
+                model: self.model,
+                engine: self.engine,
+                topo: self.topo,
+                grouping: GroupingStage::Single { bound: None },
+                merge: MergeStage::Flat,
+            },
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -257,7 +269,7 @@ impl ClockRouter for GreedyDme {
 }
 
 /// **Stitch-per-group** — the construct-separately-then-stitch approach of
-/// the earlier associative-skew work ([12] in the paper): each group's
+/// the earlier associative-skew work (\[12\] in the paper): each group's
 /// subtree is built to zero skew in isolation, then the group roots are
 /// stitched together with zero skew across groups.
 ///
@@ -300,26 +312,20 @@ impl Default for StitchPerGroup {
 }
 
 impl ClockRouter for StitchPerGroup {
-    fn route(&self, inst: &Instance) -> Result<RoutedTree, RouteError> {
+    fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
         // Zero skew everywhere (matching the [12] extension that forces
         // zero inter-group offsets), but with a merge order that finishes
         // each group before any cross-group merge.
-        let zst = inst.with_groups(Groups::single(inst.sink_count())?)?;
-        let model = self.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-        let mut forest = MergeForest::for_instance_with_model(&zst, model, self.engine);
-        let leaves = forest.leaves();
-        let mut group_roots = Vec::with_capacity(inst.groups().group_count());
-        for g in 0..inst.groups().group_count() {
-            let members: Vec<_> = inst
-                .groups()
-                .members(astdme_engine::GroupId(g as u32))
-                .iter()
-                .map(|&s| leaves[s])
-                .collect();
-            group_roots.push(merge_until_one(&mut forest, members, &self.topo));
-        }
-        let root = merge_until_one(&mut forest, group_roots, &self.topo);
-        Ok(finish(&forest, root, &zst, &model, self.engine.skew_tol))
+        pipeline::run(
+            inst,
+            &StagePlan {
+                model: self.model,
+                engine: self.engine,
+                topo: self.topo,
+                grouping: GroupingStage::Single { bound: None },
+                merge: MergeStage::PerGroupThenStitch,
+            },
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -331,7 +337,7 @@ impl ClockRouter for StitchPerGroup {
 mod tests {
     use super::*;
     use astdme_delay::RcParams;
-    use astdme_engine::{audit, Sink};
+    use astdme_engine::{audit, Groups, Sink};
     use astdme_geom::Point;
 
     /// Genuinely intermingled two-group instance: adjacent sinks alternate

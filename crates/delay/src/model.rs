@@ -48,7 +48,7 @@ impl fmt::Display for Split {
 /// * [`DelayModel::Elmore`] — the model of the paper (Ch. III): a wire of
 ///   length `l` driving load `C` has delay `r·l·(c·l/2 + C)` (π-model).
 /// * [`DelayModel::Pathlength`] — delay equals geometric pathlength; the
-///   primitive model of the earlier associative-skew work ([12] in the
+///   primitive model of the earlier associative-skew work (\[12\] in the
 ///   paper), kept to reproduce the paper's argument that it cannot control
 ///   Elmore skew.
 #[derive(Debug, Clone, Copy, PartialEq)]

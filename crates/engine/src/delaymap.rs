@@ -136,7 +136,7 @@ impl Default for Store {
 /// the four merge cases of the paper's Fig. 6 reduce to which groups two
 /// maps share.
 ///
-/// Maps of up to [`INLINE_GROUPS`] groups are stored inline (no heap
+/// Maps of up to `INLINE_GROUPS` groups are stored inline (no heap
 /// allocation); larger maps spill to a `Vec` transparently. Since every
 /// merge candidate carries a map, this keeps candidate construction — the
 /// engine's innermost loop — allocation-free for realistic group counts.

@@ -1,17 +1,41 @@
 //! Ordered parallel map over slices, built on `std::thread::scope`.
 //!
 //! The workspace's `parallel` features parallelize pair-cost estimation in
-//! the merge engine and planner. The container image has no crates.io
-//! access, so instead of `rayon` this crate provides the one primitive
-//! those features need: [`par_map`], a fork-join map that preserves input
-//! order (making parallel runs bit-identical to serial ones) and falls back
-//! to a serial loop for small inputs where thread spawn overhead dominates.
+//! the merge engine and planner, and the fleet layer fans whole instances
+//! out across threads. The container image has no crates.io access, so
+//! instead of `rayon` this crate provides the one primitive those features
+//! need: [`par_map`], a fork-join map that preserves input order (making
+//! parallel runs bit-identical to serial ones) and falls back to a serial
+//! loop for small inputs where thread spawn overhead dominates.
+//!
+//! # Nested parallelism
+//!
+//! [`par_map`] never nests: worker threads are marked, and any `par_map`
+//! call made *from inside a worker* takes the serial fallback. An outer
+//! fan-out (the fleet layer mapping over instances) therefore forces every
+//! inner fan-out (the engine mapping over candidate pairs) serial, instead
+//! of multiplying thread counts. Results are unchanged either way — the
+//! serial fallback is byte-for-byte the one-thread schedule — so the guard
+//! only prevents oversubscription, never changes output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Whether the current thread is a [`par_map`] worker. Workers run
+    /// nested `par_map` calls serially (see the module docs).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the calling thread is inside a [`par_map`] worker — i.e. a
+/// further `par_map` call from here would take the serial fallback.
+pub fn in_parallel_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
 
 /// Process-global thread-count override (0 = none / auto).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -74,7 +98,7 @@ where
     F: Fn(&mut C, &T) -> R + Sync,
 {
     let threads = thread_override().map_or_else(auto_threads, NonZeroUsize::get);
-    if items.len() < min_len.max(2) || threads < 2 {
+    if items.len() < min_len.max(2) || threads < 2 || in_parallel_worker() {
         let mut ctx = make_ctx();
         return items.iter().map(|item| f(&mut ctx, item)).collect();
     }
@@ -86,6 +110,9 @@ where
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(|| {
+                    // Fresh OS thread: mark it so nested par_map calls in
+                    // `f` run serially instead of spawning another layer.
+                    IN_WORKER.with(|w| w.set(true));
                     let mut ctx = make_ctx();
                     part.iter()
                         .map(|item| f(&mut ctx, item))
@@ -143,6 +170,27 @@ mod tests {
     fn empty_input_is_fine() {
         let items: [u32; 0] = [];
         assert!(par_map(&items, 0, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn nested_par_map_runs_serially_inside_workers() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_thread_override(NonZeroUsize::new(4));
+        assert!(!in_parallel_worker(), "main thread is not a worker");
+        let items: Vec<u64> = (0..64).collect();
+        // Each outer item runs an inner par_map; the guard must force the
+        // inner one onto the worker thread itself (observable via the
+        // worker flag staying set and results staying correct).
+        let nested_flags = par_map(&items, 0, |&x| {
+            let inner: Vec<u64> = par_map(&[x, x + 1, x + 2], 0, |y| y * 2);
+            (in_parallel_worker(), inner)
+        });
+        set_thread_override(None);
+        for (i, (flagged, inner)) in nested_flags.iter().enumerate() {
+            assert!(*flagged, "outer item {i} should run on a marked worker");
+            let x = i as u64;
+            assert_eq!(inner, &vec![2 * x, 2 * x + 2, 2 * x + 4]);
+        }
     }
 
     #[test]

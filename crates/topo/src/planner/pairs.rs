@@ -1,0 +1,129 @@
+//! The pair ranking: score folding, the lazy min-heap, the flat
+//! post-refresh ranking, and round selection.
+//!
+//! A pair is in the ranking set iff at least one endpoint caches the other
+//! at the recorded score — there is no separate membership structure.
+//! Greedy rounds peek the minimum live pair off the lazy heap; the refresh
+//! regime replaces the whole ranking with a flat sorted vector instead
+//! (building tree/heap nodes just to discard them next round is waste).
+
+use std::cmp::Reverse;
+
+use super::{MergePlanner, Nn};
+use crate::plan::{pair_score, select_disjoint};
+use crate::MergeSpace;
+
+/// Maps a non-NaN `f64` to bits whose unsigned order matches the float
+/// order (sign-magnitude to two's-complement folding).
+#[inline]
+pub(super) fn score_bits(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "pair scores must not be NaN");
+    let b = x.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+impl MergePlanner {
+    /// Whether the ranking entry `(score, lo, hi)` still describes a live
+    /// pair: some endpoint caches the other at that score. (A pair's score
+    /// is a pure function of the pair, so a re-formed pair reproduces the
+    /// recorded score bit-for-bit.)
+    fn pair_live(&self, score: u64, lo: usize, hi: usize) -> bool {
+        let caches = |a: usize, b: usize| {
+            self.pos_of(a)
+                .and_then(|i| self.entries[i].nn)
+                .is_some_and(|nn| nn.key == b && nn.score == score)
+        };
+        caches(lo, hi) || caches(hi, lo)
+    }
+
+    /// Selects a round from the lazy heap: stale tops are popped and
+    /// dropped, duplicates are harmless (endpoint-disjoint selection skips
+    /// them). The common greedy case peeks the minimum live pair without
+    /// disturbing the heap; larger limits (multi-merge fractions small
+    /// enough to stay on the point-update path) drain, select and restore.
+    pub(super) fn select_from_heap(&mut self, limit: usize) -> Vec<(usize, usize)> {
+        if limit == 1 {
+            while let Some(&Reverse((s, lo, hi))) = self.pairs.peek() {
+                if self.pair_live(s, lo, hi) {
+                    return vec![(lo, hi)];
+                }
+                self.pairs.pop();
+            }
+            return Vec::new();
+        }
+        let mut sorted = Vec::with_capacity(self.pairs.len());
+        while let Some(Reverse(t)) = self.pairs.pop() {
+            if self.pair_live(t.0, t.1, t.2) {
+                sorted.push(t);
+            }
+        }
+        let out = select_disjoint(sorted.iter().map(|&(_, a, b)| (a, b)), limit);
+        self.pairs = sorted.into_iter().map(Reverse).collect();
+        out
+    }
+
+    /// Converts the flat post-refresh ranking back into the point-editable
+    /// lazy heap. Called when the incremental maintenance path follows a
+    /// refresh; heapifying the staging vector is O(n).
+    pub(super) fn ensure_heap(&mut self) {
+        if self.sorted_valid {
+            self.pairs = self.sorted_pairs.drain(..).map(Reverse).collect();
+            self.sorted_valid = false;
+        }
+    }
+
+    /// Points entry `i` at neighbor `nn_key`, maintaining the pair set.
+    pub(super) fn set_nn<S: MergeSpace>(
+        &mut self,
+        space: &S,
+        i: usize,
+        nn_key: usize,
+        region_dist: f64,
+        exact: f64,
+    ) {
+        let k = self.entries[i].key;
+        let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+        let score = score_bits(pair_score(space, &self.cfg, lo, hi, exact));
+        self.set_nn_scored(i, nn_key, region_dist, score);
+    }
+
+    /// [`MergePlanner::set_nn`] with a pre-derived score (reused from the
+    /// partner's cache — scores are symmetric and bit-stable per pair).
+    pub(super) fn set_nn_scored(&mut self, i: usize, nn_key: usize, region_dist: f64, score: u64) {
+        let k = self.entries[i].key;
+        self.clear_nn(i);
+        let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+        self.entries[i].nn = Some(Nn {
+            key: nn_key,
+            region_dist,
+            score,
+        });
+        self.rd_heap.push((region_dist.to_bits(), k));
+        self.grid.note_cap(&self.entries[i].region, region_dist);
+        self.rev_push(nn_key, k);
+        self.pairs.push(Reverse((score, lo, hi)));
+    }
+
+    /// Drops entry `i`'s cached neighbor (if any). The ranking heap is
+    /// lazy: the pair's entry goes stale in place and is dropped whenever
+    /// selection next reaches it.
+    pub(super) fn clear_nn(&mut self, i: usize) {
+        self.entries[i].nn = None;
+    }
+
+    /// Records `k` in `nn_key`'s back-reference list, recycling a pooled
+    /// buffer so steady-state maintenance does not allocate.
+    fn rev_push(&mut self, nn_key: usize, k: usize) {
+        let slot = &mut self.rev[nn_key];
+        if slot.capacity() == 0 {
+            if let Some(recycled) = self.rev_pool.pop() {
+                *slot = recycled;
+            }
+        }
+        slot.push(k as u32);
+    }
+}

@@ -1,0 +1,164 @@
+//! The point-update maintenance path: dirty-cache flushes, neighbor
+//! takeover scans, and the takeover bound.
+//!
+//! Greedy rounds (and multi-merge rounds small enough to dodge the refresh
+//! divisor) patch the neighbor structure per merge: only caches whose
+//! neighbor was consumed re-query the grid (seeded by the merge result
+//! that swallowed it), and one bounded range query per new subtree decides
+//! whether it became anyone's nearest neighbor.
+
+use std::collections::BinaryHeap;
+
+use astdme_geom::Trr;
+
+use super::{MergePlanner, NO_HINT, NO_POS};
+use crate::{GridIndex, MergeSpace};
+
+impl MergePlanner {
+    /// Rebuilds the back-reference lists and the takeover max-heap from
+    /// the current caches. Called when the point-update path follows a
+    /// refresh (which maintains neither — the refresh regime never reads
+    /// them).
+    pub(super) fn ensure_point_mode(&mut self) {
+        self.ensure_heap();
+        if self.point_valid {
+            return;
+        }
+        for slot in &mut self.rev {
+            slot.clear();
+        }
+        let mut heap_vec = std::mem::take(&mut self.rd_heap).into_vec();
+        heap_vec.clear();
+        for i in 0..self.entries.len() {
+            let k = self.entries[i].key;
+            if let Some(nn) = self.entries[i].nn {
+                self.rev[nn.key].push(k as u32);
+                heap_vec.push((nn.region_dist.to_bits(), k));
+                // The refresh regime sets caches without noting grid caps
+                // (it never runs takeover scans); catch the caps up.
+                self.grid.note_cap(&self.entries[i].region, nn.region_dist);
+            }
+        }
+        self.rd_heap = BinaryHeap::from(heap_vec);
+        self.point_valid = true;
+    }
+
+    /// Re-queries every key whose cached neighbor was invalidated.
+    pub(super) fn flush_dirty<S: MergeSpace>(&mut self, space: &S) {
+        if self.dirty.is_empty() {
+            return; // steady state after a refresh: nothing to patch
+        }
+        if std::mem::take(&mut self.fresh) {
+            self.bulk_derive(space);
+            return;
+        }
+        self.ensure_point_mode();
+        while let Some((k, hint_key)) = self.dirty.pop() {
+            let Some(i) = self.pos_of(k) else {
+                continue; // consumed after being marked dirty
+            };
+            if self.entries[i].nn.is_some() {
+                continue; // refilled (or re-listed) in the meantime
+            }
+            // Seed the query with the merge result that consumed the old
+            // neighbor, when it is still active: it sits where the old
+            // neighbor was, so the ring expansion stays local.
+            let region = self.entries[i].region;
+            let hint = (hint_key != NO_HINT)
+                .then(|| self.pos_of(hint_key))
+                .flatten()
+                .map(|hi| (hint_key, region.distance(&self.entries[hi].region)));
+            let Some((nn_key, rd)) = self.grid.nearest_with_hint(k, &region, hint) else {
+                continue; // sole survivor
+            };
+            // Scores are symmetric: when the partner already caches this
+            // pair, its score is reused and the exact-distance refinement
+            // (the expensive part) is skipped.
+            let reused = self
+                .pos_of(nn_key)
+                .and_then(|j| self.entries[j].nn)
+                .filter(|p| p.key == k)
+                .map(|p| p.score);
+            match reused {
+                Some(score) => self.set_nn_scored(i, nn_key, rd, score),
+                None => {
+                    let exact = space.distance(k, nn_key);
+                    self.set_nn(space, i, nn_key, rd, exact);
+                }
+            }
+        }
+    }
+
+    /// Round-batched neighbor takeover: builds a throwaway grid over just
+    /// the round's new subtrees and checks every surviving cache against
+    /// it, bounded by its own cached distance — strictly tighter than the
+    /// global-max bound, and O(1)-ish per survivor since the small grid is
+    /// sparse. Survivors without a cache (invalidated this round) are
+    /// already dirty and re-query the full grid lazily.
+    pub(super) fn takeover_round<S: MergeSpace>(&mut self, space: &S, fresh: &[usize]) {
+        let items: Vec<(usize, Trr)> = fresh
+            .iter()
+            .map(|&k| {
+                let i = self.pos_of(k).expect("new key is active");
+                (k, self.entries[i].region)
+            })
+            .collect();
+        let new_grid = GridIndex::build(&items);
+        for i in 0..self.entries.len() {
+            let Some(nn) = self.entries[i].nn else {
+                continue; // dirty or new: full re-query at the next flush
+            };
+            let k = self.entries[i].key;
+            if let Some((m_key, rd)) =
+                new_grid.nearest_within(k, &self.entries[i].region, nn.region_dist)
+            {
+                let exact = space.distance(k, m_key);
+                self.set_nn(space, i, m_key, rd, exact);
+            }
+        }
+    }
+
+    /// Re-points every cached neighbor that the new subtree `key` beats,
+    /// via one range query bounded by `bound` (≥ every live cached
+    /// distance).
+    pub(super) fn takeover_from<S: MergeSpace>(&mut self, space: &S, key: usize, bound: f64) {
+        let i = self.pos_of(key).expect("new key is active");
+        let region = self.entries[i].region;
+        let mut takeovers = std::mem::take(&mut self.takeover_buf);
+        takeovers.clear();
+        {
+            let (grid, pos, entries) = (&self.grid, &self.pos, &self.entries);
+            grid.neighbors_within_capped(key, &region, bound, |k, rd| {
+                let ki = match pos.get(k) {
+                    Some(&p) if p != NO_POS => p as usize,
+                    _ => return,
+                };
+                if entries[ki].nn.is_some_and(|nn| rd < nn.region_dist) {
+                    takeovers.push((ki, rd));
+                }
+            });
+        }
+        for &(ti, rd) in &takeovers {
+            let exact = space.distance(self.entries[ti].key, key);
+            self.set_nn(space, ti, key, rd, exact);
+        }
+        self.takeover_buf = takeovers;
+    }
+
+    /// The largest cached neighbor distance among live entries, popping
+    /// stale heap tops (re-pointed or consumed keys) on the way.
+    pub(super) fn current_max_rd(&mut self) -> Option<f64> {
+        while let Some(&(bits, k)) = self.rd_heap.peek() {
+            let live = self.pos_of(k).is_some_and(|i| {
+                self.entries[i]
+                    .nn
+                    .is_some_and(|nn| nn.region_dist.to_bits() == bits)
+            });
+            if live {
+                return Some(f64::from_bits(bits));
+            }
+            self.rd_heap.pop();
+        }
+        None
+    }
+}

@@ -1,0 +1,211 @@
+//! Bulk maintenance: the initial neighbor derivation, the multi-merge
+//! refresh sweep, and amortized grid rebuilds.
+//!
+//! When a round replaces a large fraction of the active set, per-merge
+//! patching re-derives almost everything anyway — so the planner starts
+//! over in bulk, reusing every cached pair score a survivor can still
+//! vouch for (which skips the exact-distance refinement, the bulk of a
+//! from-scratch round's cost).
+
+use astdme_geom::Trr;
+
+use super::pairs::score_bits;
+use super::{MergePlanner, Nn};
+use crate::plan::pair_score;
+use crate::{GridIndex, MergeSpace};
+
+impl MergePlanner {
+    /// Derives every neighbor cache and the flat sorted ranking in one
+    /// bulk pass over a planner with no prior state (right after
+    /// [`MergePlanner::new`]): no tree nodes, back-references or heap
+    /// entries are built — a multi-merge refresh would discard them on the
+    /// first round, and the point-update path rebuilds them on demand —
+    /// and mutual nearest pairs pay the exact-distance refinement once,
+    /// not twice (scores are symmetric).
+    pub(super) fn bulk_derive<S: MergeSpace>(&mut self, space: &S) {
+        self.dirty.clear();
+        self.pairs.clear();
+        self.point_valid = false;
+        let mut staged = std::mem::take(&mut self.sorted_pairs);
+        staged.clear();
+        for i in 0..self.entries.len() {
+            let k = self.entries[i].key;
+            let region = self.entries[i].region;
+            let Some((nn_key, rd)) = self.grid.nearest(k, &region) else {
+                continue; // sole entry
+            };
+            let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+            let score = match self.pos_of(nn_key).and_then(|j| self.entries[j].nn) {
+                Some(p) if p.key == k => p.score,
+                _ => {
+                    let exact = space.distance(k, nn_key);
+                    score_bits(pair_score(space, &self.cfg, lo, hi, exact))
+                }
+            };
+            self.entries[i].nn = Some(Nn {
+                key: nn_key,
+                region_dist: rd,
+                score,
+            });
+            staged.push((score, lo, hi));
+        }
+        staged.sort_unstable();
+        staged.dedup();
+        self.sorted_pairs = staged;
+        self.sorted_valid = true;
+    }
+
+    /// Amortized grid rebuild: when the active set has halved (stale cell
+    /// size) or region extents have far outgrown the build-time extent
+    /// (stale query bounds), rebuild from the live entries.
+    pub(super) fn maybe_rebuild(&mut self) {
+        let shrunk = 2 * self.entries.len() <= self.built_len;
+        // Floor the extent baseline at a fraction of the cell size:
+        // extents only degrade queries once they rival the cells, so a
+        // point-leaf start (extent ~0) must not trigger a rebuild storm
+        // the moment the first merged hulls appear.
+        let baseline = self
+            .built_extent
+            .max(0.5 * self.grid.cell_size())
+            .max(1e-12);
+        let outgrown = self.grid.max_extent() > 4.0 * baseline;
+        if !(shrunk || outgrown) || self.entries.len() < 2 {
+            return;
+        }
+        let items: Vec<(usize, Trr)> = self.entries.iter().map(|e| (e.key, e.region)).collect();
+        self.grid = GridIndex::build(&items);
+        self.built_len = self.entries.len();
+        self.built_extent = self.grid.max_extent();
+        // A rebuild resets the grid's per-cell caps; re-note the live
+        // caches so the takeover scan keeps its local pruning. (In the
+        // refresh regime caches may be mid-rewrite here — noting stale
+        // distances is conservative, and the point-mode transition
+        // re-notes everything.)
+        for i in 0..self.entries.len() {
+            if let Some(nn) = self.entries[i].nn {
+                self.grid.note_cap(&self.entries[i].region, nn.region_dist);
+            }
+        }
+    }
+
+    /// Bulk maintenance sweep for a large round: one amortized grid-upkeep
+    /// check (the round's merges already patched the grid — see
+    /// [`MergePlanner::drop_key`]), then every neighbor cache re-derived.
+    /// The invariant "every cache holds the exact nearest active neighbor"
+    /// makes most of the work avoidable:
+    ///
+    /// * a cache whose neighbor **survived** is still the nearest among
+    ///   survivors (removals cannot bring anyone closer), so anything
+    ///   strictly closer must be one of the round's *new* subtrees — one
+    ///   main-grid query bounded by its own cached distance decides it,
+    ///   and usually comes back empty-handed (keep cache, score and all:
+    ///   no exact distance refinement);
+    /// * a cache whose neighbor was **consumed** re-queries the full grid,
+    ///   seeded with the merge result that swallowed the neighbor (it sits
+    ///   where the neighbor was, so ring expansion stays local);
+    /// * the new subtrees themselves re-query the full grid unseeded.
+    ///
+    /// The ranking is then rebuilt as a flat sorted vector
+    /// (`sorted_valid`) — in this regime it is replaced wholesale every
+    /// round, so tree nodes would be built just to be dropped. Likewise
+    /// `rev` and `rd_heap` are left stale (`point_valid`): only the
+    /// point-update path reads them.
+    pub(super) fn refresh<S: MergeSpace>(&mut self, space: &S, merges: &[(usize, usize, usize)]) {
+        self.maybe_rebuild();
+        self.dirty.clear();
+        self.pairs.clear();
+        self.point_valid = false;
+        let mut staged = std::mem::take(&mut self.sorted_pairs);
+        staged.clear();
+        // consumed key → the merge result that swallowed it, for hints.
+        let mut consumed = std::mem::take(&mut self.consumed_buf);
+        consumed.clear();
+        for &(a, b, m) in merges {
+            consumed.push((a, m));
+            consumed.push((b, m));
+        }
+        consumed.sort_unstable();
+        // Seed table for the new keys' own re-queries: the first sweep
+        // entry that picks a new key as its neighbor donates the exact
+        // region distance (symmetric), bounding the new key's ring
+        // expansion later in the same sweep. Keys are dense (module docs),
+        // so the span tracks the round size; the guard keeps a
+        // pathological key space from blowing the table up.
+        const NO_SEED: (u32, f64) = (u32::MAX, f64::INFINITY);
+        let mut seeds = std::mem::take(&mut self.seed_buf);
+        seeds.clear();
+        let m_min = merges.iter().map(|&(_, _, m)| m).min().expect("non-empty");
+        let m_span = merges.iter().map(|&(_, _, m)| m).max().expect("non-empty") - m_min + 1;
+        if m_span <= 4 * merges.len() + 16 {
+            seeds.resize(m_span, NO_SEED);
+        }
+        for i in 0..self.entries.len() {
+            let k = self.entries[i].key;
+            let region = self.entries[i].region;
+            let old = self.entries[i].nn.take();
+            let (nn_key, rd, reused_score) = match old {
+                Some(o) if self.pos_of(o.key).is_some() => {
+                    // Neighbor survived: the nearest survivor is unchanged,
+                    // so anything strictly closer in the (already patched)
+                    // main grid is necessarily a new subtree taking over.
+                    // The tight per-cache bound keeps the query local.
+                    match self.grid.nearest_within(k, &region, o.region_dist) {
+                        Some((mk, rd)) => (mk, rd, None),
+                        None => (o.key, o.region_dist, Some(o.score)),
+                    }
+                }
+                old => {
+                    // Consumed neighbor (seeded by its merge result) or a
+                    // new subtree (unseeded): full re-query.
+                    let hint = old
+                        .and_then(|o| {
+                            let ci = consumed.binary_search_by_key(&o.key, |&(c, _)| c).ok()?;
+                            let mk = consumed[ci].1;
+                            let mi = self.pos_of(mk)?;
+                            Some((mk, region.distance(&self.entries[mi].region)))
+                        })
+                        .or_else(|| {
+                            let &(r, rd) = seeds.get(k.checked_sub(m_min)?)?;
+                            (r != u32::MAX).then_some((r as usize, rd))
+                        });
+                    match self.grid.nearest_with_hint(k, &region, hint) {
+                        Some((nk, rd)) => (nk, rd, None),
+                        None => continue, // sole survivor
+                    }
+                }
+            };
+            if let Some(s) = nn_key.checked_sub(m_min).and_then(|i| seeds.get_mut(i)) {
+                if s.0 == u32::MAX {
+                    *s = (k as u32, rd);
+                }
+            }
+            let (lo, hi) = if k < nn_key { (k, nn_key) } else { (nn_key, k) };
+            // Where the pair is new, the partner may still hold its score
+            // (scores are symmetric); only genuinely new pairs pay the
+            // exact-distance refinement — the expensive part of a
+            // from-scratch round.
+            let score = reused_score.unwrap_or_else(|| {
+                match self.pos_of(nn_key).and_then(|j| self.entries[j].nn) {
+                    Some(p) if p.key == k => p.score,
+                    _ => {
+                        let exact = space.distance(k, nn_key);
+                        score_bits(pair_score(space, &self.cfg, lo, hi, exact))
+                    }
+                }
+            });
+            self.entries[i].nn = Some(Nn {
+                key: nn_key,
+                region_dist: rd,
+                score,
+            });
+            staged.push((score, lo, hi));
+        }
+        staged.sort_unstable();
+        staged.dedup();
+        self.sorted_pairs = staged;
+        self.sorted_valid = true;
+        consumed.clear();
+        self.consumed_buf = consumed;
+        self.seed_buf = seeds;
+    }
+}

@@ -11,7 +11,12 @@
 //!
 //! * [`astdme_core`] (re-exported at the root) — the routing algorithms:
 //!   [`AstDme`], [`ExtBst`], [`GreedyDme`], [`StitchPerGroup`], all
-//!   implementing [`ClockRouter`].
+//!   implementing [`ClockRouter`]. Every router runs the shared staged
+//!   [`pipeline`] (group → merge → embed → repair
+//!   → audit); [`ClockRouter::route_traced`] returns the tree together
+//!   with its audit report and per-stage [`StageStats`], and
+//!   [`route_batch`] fans whole instance portfolios out across threads
+//!   with input-ordered, bit-identical results.
 //! * [`instances`] — benchmark instance synthesis (`r1`–`r5` equivalents)
 //!   and group partitioners.
 //!

@@ -1,0 +1,103 @@
+//! Fleet-layer determinism: `route_batch` output must be bit-identical to
+//! a sequential `route_traced` loop at every thread count.
+//!
+//! The batch layer fans whole instances out via `astdme_par::par_map`
+//! (input-ordered reassembly) and forces nested engine parallelism serial
+//! on worker threads; both mechanisms change scheduling only. Sweeping
+//! the process-global thread override proves it: trees, reports and merge
+//! counters all match the single-thread reference exactly. Runs under
+//! both feature sets in CI (default and `parallel`).
+
+use std::num::NonZeroUsize;
+
+use astdme::instances::{partition, synthetic_instance};
+use astdme::{route_batch, AstDme, ClockRouter, GreedyDme, Instance, RouteOutcome, StitchPerGroup};
+
+const BOUND: f64 = 10e-12;
+
+fn portfolio() -> Vec<Instance> {
+    // Distinct sizes, seeds and group counts: input order is observable.
+    [
+        (40usize, 3usize, 7u64),
+        (52, 4, 11),
+        (33, 2, 23),
+        (47, 5, 5),
+    ]
+    .iter()
+    .map(|&(n, k, seed)| {
+        let p = synthetic_instance(n, seed, &format!("fleet{n}"));
+        let inst = partition::intermingled(&p, k, seed ^ 1).expect("valid partition");
+        inst.with_groups(
+            inst.groups()
+                .clone()
+                .with_uniform_bound(BOUND)
+                .expect("bound ok"),
+        )
+        .expect("regroup ok")
+    })
+    .collect()
+}
+
+/// Bit-exact structural equality, with the stats' wall-clock fields
+/// (legitimately run-dependent) masked out.
+fn assert_outcomes_identical(a: &RouteOutcome, b: &RouteOutcome, ctx: &str) {
+    assert_eq!(a.tree, b.tree, "{ctx}: trees diverged");
+    assert_eq!(a.report, b.report, "{ctx}: audit reports diverged");
+    assert_eq!(
+        (a.stats.merge.rounds, a.stats.merge.merges),
+        (b.stats.merge.rounds, b.stats.merge.merges),
+        "{ctx}: merge counters diverged"
+    );
+    assert_eq!(
+        a.stats.repair.repair_iterations, b.stats.repair.repair_iterations,
+        "{ctx}: repair counters diverged"
+    );
+}
+
+#[test]
+fn route_batch_is_bit_identical_across_thread_counts() {
+    let instances = portfolio();
+    let routers: Vec<Box<dyn ClockRouter + Sync>> = vec![
+        Box::new(AstDme::new()),
+        Box::new(GreedyDme::new()),
+        Box::new(StitchPerGroup::new()),
+    ];
+    for router in &routers {
+        // The single-thread reference: a plain sequential loop.
+        astdme_par::set_thread_override(NonZeroUsize::new(1));
+        let reference: Vec<RouteOutcome> = instances
+            .iter()
+            .map(|inst| router.route_traced(inst).expect("routes"))
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            astdme_par::set_thread_override(NonZeroUsize::new(threads));
+            let batch = route_batch(&instances, router.as_ref());
+            assert_eq!(batch.len(), instances.len());
+            for (i, (out, want)) in batch.iter().zip(&reference).enumerate() {
+                let out = out.as_ref().expect("routes");
+                let ctx = format!("{} threads={threads} instance {i}", router.name());
+                assert_outcomes_identical(out, want, &ctx);
+            }
+        }
+        astdme_par::set_thread_override(None);
+        let auto = route_batch(&instances, router.as_ref());
+        for (i, (out, want)) in auto.iter().zip(&reference).enumerate() {
+            let out = out.as_ref().expect("routes");
+            let ctx = format!("{} threads=auto instance {i}", router.name());
+            assert_outcomes_identical(out, want, &ctx);
+        }
+    }
+}
+
+#[test]
+fn route_batch_reports_per_instance_errors_in_place() {
+    let mut instances = portfolio();
+    let router = astdme::ExtBst::new(-1.0); // invalid bound: every route fails
+    let batch = route_batch(&instances, &router);
+    assert!(batch.iter().all(|r| r.is_err()));
+    // A valid router over the same batch: all succeed, order preserved.
+    let ok = route_batch(&instances, &AstDme::new());
+    assert!(ok.iter().all(|r| r.is_ok()));
+    instances.truncate(1);
+    assert_eq!(route_batch(&instances, &AstDme::new()).len(), 1);
+}
