@@ -33,7 +33,18 @@
 //! (`astdme_core::route_batch`, instance-level fan-out) vs a sequential
 //! `route_traced` loop, recording instances/sec and the batch-vs-
 //! sequential speedup. Wirelengths must match to the last bit — the fleet
-//! layer changes scheduling, never trees.
+//! layer changes scheduling, never trees. Two portfolios are measured:
+//!
+//! * **uniform** — `BATCH_INSTANCES` same-size instances at the smallest
+//!   requested size (the PR-4 protocol, kept for trajectory continuity);
+//! * **skewed** — one n=4000 instance plus eight n=250 ones, the
+//!   load-imbalance shape that starved the old fixed contiguous-chunk
+//!   schedule. The fleet's cost model (calibrated from the sequential
+//!   reference pass) schedules it largest-first onto the work-stealing
+//!   pool; the entry records load balance (max/min worker busy-time, 1.0
+//!   on a single-core box where the fan-out falls back to serial) next to
+//!   instances/sec, and asserts batch wirelengths bit-equal to the
+//!   sequential loop (`"wirelength_bit_equal": true` in the JSON).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,8 +52,8 @@ use std::time::Instant;
 
 use astdme_bench::{json, PAPER_BOUND};
 use astdme_core::{
-    route_batch, run_bottom_up, run_bottom_up_from_scratch, AstDme, ClockRouter, DelayModel,
-    EngineConfig, Instance, TopoConfig,
+    run_bottom_up, run_bottom_up_from_scratch, AstDme, BatchPlan, ClockRouter, CostModel,
+    DelayModel, EngineConfig, Instance, TopoConfig,
 };
 use astdme_instances::{partition, synthetic_instance};
 
@@ -319,16 +330,26 @@ fn measure_parallel(_n: usize, _inst: &Instance) -> Vec<ParMeasurement> {
 }
 
 /// One batch-throughput measurement: a portfolio of distinct instances
-/// routed end-to-end through the fleet layer ([`route_batch`]) vs a
-/// sequential `route_traced` loop over the same instances.
+/// routed end-to-end through the fleet layer ([`astdme_core::fleet`]) vs
+/// a sequential `route_traced` loop over the same instances.
 #[derive(Debug, Clone)]
 struct BatchMeasurement {
+    /// `"uniform"` (same-size portfolio) or `"skewed"` (one large + many
+    /// small).
+    portfolio: &'static str,
+    /// Human-readable size mix, e.g. `"6x250"` or `"1x4000+8x250"`.
+    sizes: String,
     n: usize,
     instances: usize,
     batch_seconds: f64,
     sequential_seconds: f64,
     instances_per_sec: f64,
     speedup: f64,
+    /// Workers the fastest batch rep fanned out to (1 = serial fallback).
+    workers: usize,
+    /// Max/min worker busy-time of the fastest batch rep (1.0 when
+    /// serial).
+    balance: f64,
 }
 
 /// Measures fleet-layer throughput over a portfolio of `BATCH_INSTANCES`
@@ -342,32 +363,76 @@ struct BatchMeasurement {
 /// engine parallelism forced serial by `astdme_par`'s worker guard).
 fn measure_batch(n: usize) -> BatchMeasurement {
     const BATCH_INSTANCES: usize = 6;
-    const BATCH_REPS: usize = 5;
-    let router = AstDme::new().with_engine(EngineConfig::fast());
     let instances: Vec<Instance> = (0..BATCH_INSTANCES)
         .map(|i| instance_seeded(n, SEED.wrapping_add(1 + i as u64)))
         .collect();
-    // Reference wirelengths (and warmup) from one sequential pass.
+    measure_portfolio("uniform", format!("{BATCH_INSTANCES}x{n}"), n, instances)
+}
+
+/// The deliberately skewed portfolio: one n=4000 instance plus eight
+/// n=250 ones. Under the old fixed contiguous-chunk schedule the worker
+/// that drew the n=4000 chunk also dragged whatever small instances
+/// landed behind it; the cost-model schedule hands the large instance out
+/// first and the work-stealing pool drains the small ones around it.
+fn measure_batch_skewed() -> BatchMeasurement {
+    const LARGE_N: usize = 4000;
+    const SMALL_N: usize = 250;
+    const SMALL_COUNT: usize = 8;
+    let mut instances = vec![instance_seeded(LARGE_N, SEED ^ 0x51)];
+    instances.extend(
+        (0..SMALL_COUNT).map(|i| instance_seeded(SMALL_N, SEED.wrapping_add(101 + i as u64))),
+    );
+    measure_portfolio(
+        "skewed",
+        format!("1x{LARGE_N}+{SMALL_COUNT}x{SMALL_N}"),
+        SMALL_N,
+        instances,
+    )
+}
+
+/// Times one portfolio through the fleet layer vs the sequential loop.
+/// The sequential reference pass doubles as warmup *and* cost-model
+/// calibration: its observed per-stage seconds feed the [`CostModel`]
+/// whose [`BatchPlan`] then schedules the batch largest-first. Both paths
+/// are timed `BATCH_REPS` times in alternating order and the minimum kept
+/// — the same discipline as [`measure`] — and every outcome's wirelength
+/// must match the sequential reference to the last bit (the fleet layer
+/// changes scheduling, never trees). On a single-core machine the batch
+/// takes its serial fallback, so the speedup sits at ~1.0 and the balance
+/// at exactly 1.0 by construction; on multicore the fan-out engages (with
+/// nested engine parallelism forced serial by `astdme_par`'s worker
+/// guard) and the balance records max/min worker busy-time.
+fn measure_portfolio(
+    portfolio: &'static str,
+    sizes: String,
+    n: usize,
+    instances: Vec<Instance>,
+) -> BatchMeasurement {
+    const BATCH_REPS: usize = 5;
+    let router = AstDme::new().with_engine(EngineConfig::fast());
+    // Reference wirelengths (and warmup) from one sequential pass, which
+    // also calibrates the cost model with real per-instance seconds.
+    let mut model = CostModel::new();
     let reference: Vec<f64> = instances
         .iter()
         .map(|inst| {
-            router
-                .route_traced(inst)
-                .expect("routes")
-                .report
-                .wirelength()
+            let out = router.route_traced(inst).expect("routes");
+            model.observe(inst, &out.stats);
+            out.report.wirelength()
         })
         .collect();
+    let plan = BatchPlan::with_model(&instances, &model);
     let check = |wls: &[f64], label: &str| {
         assert_eq!(wls.len(), reference.len());
         for (i, (&wl, &expected)) in wls.iter().zip(&reference).enumerate() {
             assert!(
                 wl == expected,
-                "{label} diverged at n={n} instance {i}: {wl} vs {expected}"
+                "{label} diverged on {portfolio} portfolio instance {i}: {wl} vs {expected}"
             );
         }
     };
     let mut best = [f64::INFINITY; 2]; // [sequential, batch]
+    let mut best_stats = astdme_core::StealStats::default();
     for _rep in 0..BATCH_REPS {
         let t0 = Instant::now();
         let wls: Vec<f64> = instances
@@ -384,24 +449,33 @@ fn measure_batch(n: usize) -> BatchMeasurement {
         check(&wls, "sequential loop");
 
         let t0 = Instant::now();
-        let wls: Vec<f64> = route_batch(&instances, &router)
+        let (outcomes, stats) = plan.route_with_stats(&instances, &router);
+        let secs = t0.elapsed().as_secs_f64();
+        let wls: Vec<f64> = outcomes
             .into_iter()
             .map(|out| out.expect("routes").report.wirelength())
             .collect();
-        best[1] = best[1].min(t0.elapsed().as_secs_f64());
+        if secs < best[1] {
+            best[1] = secs;
+            best_stats = stats;
+        }
         check(&wls, "route_batch");
     }
     let m = BatchMeasurement {
+        portfolio,
+        sizes,
         n,
-        instances: BATCH_INSTANCES,
+        instances: instances.len(),
         batch_seconds: best[1],
         sequential_seconds: best[0],
-        instances_per_sec: BATCH_INSTANCES as f64 / best[1],
+        instances_per_sec: instances.len() as f64 / best[1],
         speedup: best[0] / best[1],
+        workers: best_stats.workers(),
+        balance: best_stats.balance(),
     };
     eprintln!(
-        "n={n:>6} batch x{BATCH_INSTANCES}  batch {:.3}s  sequential {:.3}s  {:.2} inst/s  speedup {:.3}",
-        m.batch_seconds, m.sequential_seconds, m.instances_per_sec, m.speedup
+        "{portfolio:>8} batch {}  batch {:.3}s  sequential {:.3}s  {:.2} inst/s  speedup {:.3}  workers {}  balance {:.2}",
+        m.sizes, m.batch_seconds, m.sequential_seconds, m.instances_per_sec, m.speedup, m.workers, m.balance
     );
     m
 }
@@ -512,6 +586,8 @@ fn to_json(
         .map(|m| {
             json::object(
                 &[
+                    json::field("portfolio", json::quote(m.portfolio)),
+                    json::field("sizes", json::quote(&m.sizes)),
                     json::field("n", format!("{}", m.n)),
                     json::field("instances", format!("{}", m.instances)),
                     json::field("router", json::quote("AST-DME")),
@@ -520,6 +596,11 @@ fn to_json(
                     json::field("sequential_seconds", json::number(m.sequential_seconds)),
                     json::field("instances_per_sec", json::number(m.instances_per_sec)),
                     json::field("speedup", json::number(m.speedup)),
+                    json::field("workers", format!("{}", m.workers)),
+                    json::field("balance_max_over_min_busy", json::number(m.balance)),
+                    // Asserted inside the measurement (the run aborts on a
+                    // mismatch); recorded so CI can grep the guarantee.
+                    json::field("wirelength_bit_equal", "true"),
                 ],
                 4,
             )
@@ -571,12 +652,15 @@ fn main() {
         alloc_measurements.extend(measure_allocs(n, &inst));
         par_measurements.extend(measure_parallel(n, &inst));
     }
-    // Fleet throughput is one portfolio at the smallest requested size:
-    // the batch-vs-sequential comparison is about the fan-out layer, not
-    // the per-instance cost the sections above already track.
-    let batch_measurements = vec![measure_batch(
-        sizes.iter().copied().min().expect("at least one size"),
-    )];
+    // Fleet throughput: a uniform portfolio at the smallest requested
+    // size (the batch-vs-sequential comparison is about the fan-out
+    // layer, not the per-instance cost the sections above already track)
+    // plus the fixed skewed portfolio that exercises the cost-model /
+    // work-stealing schedule.
+    let batch_measurements = vec![
+        measure_batch(sizes.iter().copied().min().expect("at least one size")),
+        measure_batch_skewed(),
+    ];
     let doc = to_json(
         &measurements,
         &alloc_measurements,
@@ -620,12 +704,23 @@ fn main() {
         }
     }
     println!();
-    println!("| n | instances | batch (s) | sequential (s) | inst/s | speedup |");
-    println!("|---|-----------|-----------|----------------|--------|---------|");
+    println!(
+        "| portfolio | sizes | batch (s) | sequential (s) | inst/s | speedup | workers | balance |"
+    );
+    println!(
+        "|-----------|-------|-----------|----------------|--------|---------|---------|---------|"
+    );
     for m in &batch_measurements {
         println!(
-            "| {} | {} | {:.3} | {:.3} | {:.2} | {:.3} |",
-            m.n, m.instances, m.batch_seconds, m.sequential_seconds, m.instances_per_sec, m.speedup
+            "| {} | {} | {:.3} | {:.3} | {:.2} | {:.3} | {} | {:.2} |",
+            m.portfolio,
+            m.sizes,
+            m.batch_seconds,
+            m.sequential_seconds,
+            m.instances_per_sec,
+            m.speedup,
+            m.workers,
+            m.balance
         );
     }
 }

@@ -12,6 +12,11 @@ pub enum RouteError {
     Instance(InstanceError),
     /// A router parameter is invalid (e.g. a negative skew bound).
     BadParameter(String),
+    /// The router panicked while routing this instance. Produced by the
+    /// fleet layer ([`crate::fleet`]), which catches per-instance panics
+    /// so one crashing route cannot poison the rest of a batch; carries
+    /// the panic message.
+    Panicked(String),
 }
 
 impl fmt::Display for RouteError {
@@ -19,6 +24,7 @@ impl fmt::Display for RouteError {
         match self {
             Self::Instance(e) => write!(f, "invalid instance: {e}"),
             Self::BadParameter(msg) => write!(f, "invalid router parameter: {msg}"),
+            Self::Panicked(msg) => write!(f, "router panicked: {msg}"),
         }
     }
 }
@@ -27,7 +33,7 @@ impl Error for RouteError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Instance(e) => Some(e),
-            Self::BadParameter(_) => None,
+            Self::BadParameter(_) | Self::Panicked(_) => None,
         }
     }
 }
@@ -54,6 +60,14 @@ mod tests {
     fn bad_parameter_display() {
         let e = RouteError::BadParameter("bound must be non-negative".into());
         assert!(e.to_string().contains("bound"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn panicked_display() {
+        let e = RouteError::Panicked("index out of bounds".into());
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
         assert!(e.source().is_none());
     }
 }

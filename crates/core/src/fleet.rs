@@ -1,47 +1,268 @@
-//! The fleet layer: batch routing of whole instance portfolios.
+//! The fleet layer: batch routing of whole instance portfolios, scheduled
+//! by a cost model over a work-stealing thread pool.
 //!
 //! The paper's evaluation routes a portfolio — every circuit × group count
 //! × router — and a production deployment serves many scenarios
 //! concurrently. [`route_batch`] is the one entry point for that shape of
-//! work: it fans **whole instances** out across threads via
-//! [`astdme_par::par_map`] and returns outcomes in input order, so results
-//! are bit-identical to a sequential loop at every thread count.
+//! work: it fans **whole instances** out across threads and returns
+//! outcomes in input order, so results are bit-identical to a sequential
+//! loop at every thread count.
+//!
+//! # Scheduling
+//!
+//! Portfolios are skewed: one n=4000 circuit takes orders of magnitude
+//! longer than an n=250 one, and a fixed contiguous-chunk split would park
+//! every small instance behind the big one on a single worker. Two
+//! mechanisms prevent that:
+//!
+//! * **Largest-first ordering.** A [`BatchPlan`] estimates each
+//!   instance's cost — a-priori from sink count and group structure, or
+//!   refined by observed per-stage seconds ([`crate::RouteStats`]) fed to
+//!   a [`CostModel`] from prior runs — and hands instances to the workers
+//!   costliest first, the classic LPT heuristic.
+//! * **Work stealing.** The fan-out runs on
+//!   [`astdme_par::par_map_indexed`]'s small-block stealing scheduler, so
+//!   a worker that finishes its instances early pulls the next pending
+//!   one instead of idling behind a static chunk boundary.
+//!
+//! Both mechanisms change scheduling only: every result is written back to
+//! its *input-order* slot, so the returned vector is identical at every
+//! thread count (and to the sequential loop).
 //!
 //! Instance-level fan-out composes safely with the engine's own `parallel`
-//! feature: `par_map` workers are marked, and any nested fan-out (the
-//! engine's candidate-pair expansion) takes its serial fallback on a
-//! worker thread — one layer of threads, never a multiplication. Nested
-//! execution is byte-for-byte the serial schedule, so the guard changes
-//! scheduling only, never output.
+//! feature: workers are marked, and any nested fan-out (the engine's
+//! candidate-pair expansion) takes its serial fallback on a worker thread
+//! — one layer of threads, never a multiplication.
+//!
+//! # Failure isolation
+//!
+//! Errors are per-instance: one invalid instance yields its own
+//! [`RouteError`] slot and the rest of the batch routes normally. That
+//! holds for *panics* too — the fleet layer catches a panic inside a
+//! router and surfaces it as [`RouteError::Panicked`] for that instance
+//! only, instead of letting the unwind kill the whole batch.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use astdme_engine::Instance;
 
-use crate::pipeline::RouteOutcome;
+use crate::pipeline::{RouteOutcome, RouteStats};
 use crate::{ClockRouter, RouteError};
+
+pub use astdme_par::StealStats;
 
 /// Minimum batch size before instances fan out across threads: a single
 /// instance gains nothing from the fork-join overhead.
 const MIN_BATCH_FANOUT: usize = 2;
 
+/// Estimates per-instance routing cost for [`BatchPlan`] scheduling.
+///
+/// A fresh model prices an instance a-priori from its sink count and group
+/// structure ([`CostModel::static_cost`]); feeding it observed per-stage
+/// wall-clock from prior runs ([`CostModel::observe`]) replaces the
+/// a-priori guess with measured seconds for instance shapes it has seen,
+/// and calibrates the a-priori scale for shapes it has not.
+///
+/// Only the *relative order* of estimates matters to the schedule, so an
+/// uncalibrated model is perfectly usable — observations just sharpen the
+/// largest-first ordering when a portfolio mixes repeat shapes (as bench
+/// sweeps and production re-routes do).
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    /// Observed `(total seconds, runs)` per instance shape, keyed by
+    /// `(sink count, group count)`.
+    observed: HashMap<(usize, usize), (f64, u32)>,
+    /// Sum of [`CostModel::static_cost`] over all observations.
+    observed_static: f64,
+    /// Sum of observed seconds over all observations.
+    observed_seconds: f64,
+}
+
+impl CostModel {
+    /// A model with no observations: estimates are purely a-priori.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The a-priori cost of routing `inst`: sink count times a log factor
+    /// for the merge loop, times a mild group-structure factor (more
+    /// groups mean more constraint bookkeeping per merge). Unitless — the
+    /// absolute scale is irrelevant to scheduling; only ordering counts.
+    pub fn static_cost(inst: &Instance) -> f64 {
+        let n = inst.sink_count() as f64;
+        let k = inst.groups().group_count() as f64;
+        n * n.log2().max(1.0) * (1.0 + 0.1 * (k - 1.0))
+    }
+
+    /// Records one routed instance's observed pipeline wall-clock
+    /// (`stats.total_seconds()`), refining future [`CostModel::estimate`]
+    /// calls for this instance shape and calibrating the a-priori scale
+    /// for unseen ones.
+    pub fn observe(&mut self, inst: &Instance, stats: &RouteStats) {
+        let secs = stats.total_seconds();
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        let entry = self
+            .observed
+            .entry((inst.sink_count(), inst.groups().group_count()))
+            .or_insert((0.0, 0));
+        entry.0 += secs;
+        entry.1 += 1;
+        self.observed_static += Self::static_cost(inst);
+        self.observed_seconds += secs;
+    }
+
+    /// Estimated cost of routing `inst`: the mean observed seconds for its
+    /// exact shape when available, otherwise [`CostModel::static_cost`]
+    /// scaled by the global seconds-per-static-unit calibration (1.0 when
+    /// nothing has been observed yet).
+    pub fn estimate(&self, inst: &Instance) -> f64 {
+        if let Some(&(total, runs)) = self
+            .observed
+            .get(&(inst.sink_count(), inst.groups().group_count()))
+        {
+            return total / f64::from(runs);
+        }
+        let scale = if self.observed_static > 0.0 && self.observed_seconds > 0.0 {
+            self.observed_seconds / self.observed_static
+        } else {
+            1.0
+        };
+        Self::static_cost(inst) * scale
+    }
+}
+
+/// A schedule for routing one batch: per-instance cost estimates plus the
+/// largest-first order the work-stealing pool consumes them in.
+///
+/// The plan is pure scheduling — [`BatchPlan::route`] returns outcomes in
+/// **input order** and bit-identical to a sequential loop no matter how
+/// the estimates rank the instances. A wildly wrong cost model can only
+/// cost wall-clock, never change a tree.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Input indices, costliest first (ties broken by input index, so the
+    /// schedule itself is deterministic).
+    order: Vec<usize>,
+    /// Estimated cost per *input* index.
+    cost: Vec<f64>,
+}
+
+impl BatchPlan {
+    /// Plans `instances` with a fresh (a-priori) [`CostModel`].
+    pub fn new(instances: &[Instance]) -> Self {
+        Self::with_model(instances, &CostModel::new())
+    }
+
+    /// Plans `instances` largest-first under `model`'s estimates.
+    pub fn with_model(instances: &[Instance], model: &CostModel) -> Self {
+        let cost: Vec<f64> = instances.iter().map(|inst| model.estimate(inst)).collect();
+        let mut order: Vec<usize> = (0..instances.len()).collect();
+        order.sort_by(|&a, &b| cost[b].total_cmp(&cost[a]).then(a.cmp(&b)));
+        Self { order, cost }
+    }
+
+    /// The scheduled order: input indices, costliest first.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Estimated costs, indexed by *input* position.
+    pub fn costs(&self) -> &[f64] {
+        &self.cost
+    }
+
+    /// Routes the batch under this schedule; see [`route_batch`] for the
+    /// result contract. `instances` must be the slice the plan was built
+    /// from (or one of equal length — the plan only permutes indices).
+    pub fn route<R>(
+        &self,
+        instances: &[Instance],
+        router: &R,
+    ) -> Vec<Result<RouteOutcome, RouteError>>
+    where
+        R: ClockRouter + Sync + ?Sized,
+    {
+        self.route_with_stats(instances, router).0
+    }
+
+    /// Like [`BatchPlan::route`], additionally returning the fan-out's
+    /// per-worker [`StealStats`] — the scaling bench's balance
+    /// measurement (max/min worker busy-time) reads these.
+    pub fn route_with_stats<R>(
+        &self,
+        instances: &[Instance],
+        router: &R,
+    ) -> (Vec<Result<RouteOutcome, RouteError>>, StealStats)
+    where
+        R: ClockRouter + Sync + ?Sized,
+    {
+        assert_eq!(
+            self.order.len(),
+            instances.len(),
+            "BatchPlan built for a different batch size"
+        );
+        let (scheduled, stats) =
+            astdme_par::par_map_indexed_stats(&self.order, MIN_BATCH_FANOUT, |_slot, &idx| {
+                route_caught(router, &instances[idx])
+            });
+        // Scatter from schedule order back to input-order slots.
+        let mut out: Vec<Option<Result<RouteOutcome, RouteError>>> =
+            Vec::with_capacity(instances.len());
+        out.resize_with(instances.len(), || None);
+        for (slot, result) in scheduled.into_iter().enumerate() {
+            out[self.order[slot]] = Some(result);
+        }
+        let out = out
+            .into_iter()
+            .map(|r| r.expect("schedule order is a permutation of the batch"))
+            .collect();
+        (out, stats)
+    }
+}
+
+/// Routes one instance, converting a panic inside the router into a
+/// per-instance [`RouteError::Panicked`] carrying the panic message — the
+/// isolation guarantee of the fleet layer.
+fn route_caught<R>(router: &R, inst: &Instance) -> Result<RouteOutcome, RouteError>
+where
+    R: ClockRouter + ?Sized,
+{
+    catch_unwind(AssertUnwindSafe(|| router.route_traced(inst))).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(RouteError::Panicked(msg))
+    })
+}
+
 /// Routes every instance in `instances` through `router`, fanning
-/// instances out across threads.
+/// instances out across work-stealing threads, costliest instance first
+/// (see the [module docs](self) for the scheduling model).
 ///
 /// Results come back **in input order**, one per instance, each carrying
 /// the routed tree plus its audit report and per-stage stats
 /// ([`RouteOutcome`]). The output is bit-identical to
 /// `instances.iter().map(|i| router.route_traced(i))` at every thread
 /// count (including the [`astdme_par::set_thread_override`] settings the
-/// determinism tests sweep): parallelism changes scheduling, never trees.
+/// determinism tests sweep): scheduling changes, trees never do.
 ///
-/// Errors are per-instance — one invalid instance does not poison the
-/// rest of the batch.
+/// Errors are per-instance — one invalid *or panicking* instance does not
+/// poison the rest of the batch; a panic surfaces as
+/// [`RouteError::Panicked`] in that instance's slot.
+///
+/// Equivalent to `BatchPlan::new(instances).route(instances, router)`;
+/// build the [`BatchPlan`] yourself to reuse a calibrated [`CostModel`]
+/// or to read the fan-out's [`StealStats`].
 pub fn route_batch<R>(instances: &[Instance], router: &R) -> Vec<Result<RouteOutcome, RouteError>>
 where
     R: ClockRouter + Sync + ?Sized,
 {
-    astdme_par::par_map(instances, MIN_BATCH_FANOUT, |inst| {
-        router.route_traced(inst)
-    })
+    BatchPlan::new(instances).route(instances, router)
 }
 
 #[cfg(test)]
@@ -95,5 +316,118 @@ mod tests {
     fn empty_batch_is_fine() {
         let batch = route_batch(&[], &AstDme::new());
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn plan_schedules_largest_first() {
+        // Sizes deliberately out of order: 12, 40, 6, 40.
+        let instances = vec![inst(12, 0.0), inst(40, 1.0), inst(6, 2.0), inst(40, 3.0)];
+        let plan = BatchPlan::new(&instances);
+        assert_eq!(
+            plan.order(),
+            &[1, 3, 0, 2],
+            "costliest first, ties by index"
+        );
+        assert_eq!(plan.costs().len(), 4);
+        assert!(plan.costs()[1] > plan.costs()[0]);
+        // The schedule must not perturb results or their order.
+        let router = AstDme::new();
+        let planned = plan.route(&instances, &router);
+        for (i, (out, inst)) in planned.iter().zip(&instances).enumerate() {
+            let seq = router.route_traced(inst).expect("routes");
+            assert_eq!(out.as_ref().expect("routes").tree, seq.tree, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn static_cost_grows_with_sinks_and_groups() {
+        let small = inst(10, 0.0);
+        let large = inst(200, 0.0);
+        assert!(CostModel::static_cost(&large) > CostModel::static_cost(&small));
+        let model = CostModel::new();
+        assert_eq!(model.estimate(&small), CostModel::static_cost(&small));
+    }
+
+    fn stats_with_merge_seconds(seconds: f64) -> RouteStats {
+        RouteStats {
+            merge: crate::pipeline::StageStats {
+                seconds,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn observed_seconds_refine_estimates() {
+        let a = inst(10, 0.0);
+        let b = inst(20, 0.0);
+        let mut model = CostModel::new();
+        // Pretend the *smaller* shape measured slower: observations must
+        // override the a-priori ordering for seen shapes.
+        model.observe(&a, &stats_with_merge_seconds(2.0));
+        model.observe(&b, &stats_with_merge_seconds(0.5));
+        assert!(model.estimate(&a) > model.estimate(&b));
+        let plan = BatchPlan::with_model(&[a, b], &model);
+        assert_eq!(plan.order(), &[0, 1]);
+        // An unseen shape still gets a calibrated static estimate.
+        let c = inst(15, 0.0);
+        assert!(model.estimate(&c) > 0.0);
+    }
+
+    #[test]
+    fn observe_averages_repeat_shapes() {
+        let a = inst(10, 0.0);
+        let mut model = CostModel::new();
+        model.observe(&a, &stats_with_merge_seconds(1.0));
+        model.observe(&a, &stats_with_merge_seconds(3.0));
+        assert!((model.estimate(&a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_account_for_every_instance() {
+        let instances: Vec<Instance> = (0..5).map(|i| inst(6 + i, i as f64)).collect();
+        let plan = BatchPlan::new(&instances);
+        let (out, stats) = plan.route_with_stats(&instances, &AstDme::new());
+        assert_eq!(out.len(), 5);
+        assert_eq!(stats.worker_items.iter().sum::<usize>(), 5);
+        assert!(stats.balance() >= 1.0);
+    }
+
+    /// A router that panics on one specific sink count — the failure mode
+    /// the batch layer must contain.
+    struct PanicAt {
+        trip: usize,
+        inner: AstDme,
+    }
+
+    impl ClockRouter for PanicAt {
+        fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
+            assert_ne!(inst.sink_count(), self.trip, "injected panic");
+            self.inner.route_traced(inst)
+        }
+        fn name(&self) -> &'static str {
+            "panic-at"
+        }
+    }
+
+    #[test]
+    fn panicking_instance_does_not_poison_the_batch() {
+        let instances = vec![inst(8, 0.0), inst(9, 1.0), inst(10, 2.0)];
+        let router = PanicAt {
+            trip: 9,
+            inner: AstDme::new(),
+        };
+        let batch = route_batch(&instances, &router);
+        assert_eq!(batch.len(), 3);
+        match &batch[1] {
+            Err(RouteError::Panicked(msg)) => assert!(msg.contains("injected panic"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        for i in [0usize, 2] {
+            let seq = AstDme::new().route_traced(&instances[i]).expect("routes");
+            let out = batch[i].as_ref().expect("survivors route normally");
+            assert_eq!(out.tree, seq.tree, "instance {i}");
+        }
     }
 }

@@ -56,7 +56,7 @@ pub use drivers::{
     run_bottom_up_from_scratch, ForestSpace, MergeTrace,
 };
 pub use error::RouteError;
-pub use fleet::route_batch;
+pub use fleet::{route_batch, BatchPlan, CostModel, StealStats};
 pub use pipeline::{GroupingStage, MergeStage, RouteOutcome, RouteStats, StagePlan, StageStats};
 pub use routers::{AstDme, ClockRouter, ExtBst, GreedyDme, StitchPerGroup};
 

@@ -39,6 +39,10 @@ const REPAIR_ITERS: usize = 80;
 
 /// Wall-clock and work counters for one pipeline stage. Fields that do
 /// not apply to a stage (e.g. `rounds` outside the merge stage) stay zero.
+///
+/// The `seconds` fields are also the fleet layer's scheduling feedback:
+/// observed stage wall-clock fed to a [`crate::fleet::CostModel`] refines
+/// the cost estimates its [`crate::fleet::BatchPlan`] orders batches by.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageStats {
     /// Wall-clock seconds spent in the stage.

@@ -1,22 +1,44 @@
-//! Ordered parallel map over slices, built on `std::thread::scope`.
+//! Ordered parallel map over slices, built on `std::thread::scope`, with a
+//! work-stealing schedule.
 //!
 //! The workspace's `parallel` features parallelize pair-cost estimation in
 //! the merge engine and planner, and the fleet layer fans whole instances
 //! out across threads. The container image has no crates.io access, so
 //! instead of `rayon` this crate provides the one primitive those features
-//! need: [`par_map`], a fork-join map that preserves input order (making
-//! parallel runs bit-identical to serial ones) and falls back to a serial
-//! loop for small inputs where thread spawn overhead dominates.
+//! need: an ordered fork-join map ([`par_map`], [`par_map_with`],
+//! [`par_map_indexed`]) that preserves input order (making parallel runs
+//! bit-identical to serial ones) and falls back to a serial loop for small
+//! inputs where thread spawn overhead dominates.
+//!
+//! # Scheduling: small-block work stealing
+//!
+//! Workers do **not** get fixed contiguous chunks. All workers share one
+//! atomic next-index cursor and repeatedly claim small blocks of
+//! consecutive items from it until the slice is exhausted. A worker that
+//! lands on cheap items comes back for more while a worker stuck on an
+//! expensive item keeps crunching — so skewed workloads (one huge item
+//! among many small ones) no longer leave most threads idle, which is
+//! exactly the shape of a routing portfolio. Each result is written to the
+//! slot of its *input* index, so the output vector is identical at every
+//! thread count: stealing changes scheduling, never output.
 //!
 //! # Nested parallelism
 //!
-//! [`par_map`] never nests: worker threads are marked, and any `par_map`
-//! call made *from inside a worker* takes the serial fallback. An outer
-//! fan-out (the fleet layer mapping over instances) therefore forces every
-//! inner fan-out (the engine mapping over candidate pairs) serial, instead
-//! of multiplying thread counts. Results are unchanged either way — the
-//! serial fallback is byte-for-byte the one-thread schedule — so the guard
-//! only prevents oversubscription, never changes output.
+//! The map never nests: worker threads are marked, and any call made *from
+//! inside a worker* takes the serial fallback. An outer fan-out (the fleet
+//! layer mapping over instances) therefore forces every inner fan-out (the
+//! engine mapping over candidate pairs) serial, instead of multiplying
+//! thread counts. Results are unchanged either way — the serial fallback
+//! is byte-for-byte the one-thread schedule — so the guard only prevents
+//! oversubscription, never changes output.
+//!
+//! # Panics
+//!
+//! If the mapped closure panics on a worker thread, the panic **payload**
+//! is re-raised on the caller via [`std::panic::resume_unwind`] — not
+//! swallowed into a generic join-failure message — so callers that isolate
+//! failures (the fleet layer catches per-instance panics) and test
+//! harnesses both see the original message.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,15 +46,16 @@
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 thread_local! {
-    /// Whether the current thread is a [`par_map`] worker. Workers run
-    /// nested `par_map` calls serially (see the module docs).
+    /// Whether the current thread is a parallel-map worker. Workers run
+    /// nested calls serially (see the module docs).
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Whether the calling thread is inside a [`par_map`] worker — i.e. a
-/// further `par_map` call from here would take the serial fallback.
+/// Whether the calling thread is inside a parallel-map worker — i.e. a
+/// further [`par_map`] call from here would take the serial fallback.
 pub fn in_parallel_worker() -> bool {
     IN_WORKER.with(Cell::get)
 }
@@ -40,16 +63,18 @@ pub fn in_parallel_worker() -> bool {
 /// Process-global thread-count override (0 = none / auto).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Forces every subsequent [`par_map`] / [`par_map_with`] call to use
-/// exactly `n` threads instead of `available_parallelism` (`None` restores
-/// auto). `Some(1)` runs the serial fallback — byte-for-byte the code path
-/// a build without any parallelism takes.
+/// Forces every subsequent map call to use exactly `n` threads instead of
+/// `available_parallelism` (`None` restores auto). `Some(1)` runs the
+/// serial fallback — byte-for-byte the code path a build without any
+/// parallelism takes.
 ///
 /// Results are thread-count invariant by construction (outputs are
-/// reassembled in input order), so this knob only changes *scheduling*:
+/// written to input-order slots), so this knob only changes *scheduling*:
 /// the determinism tests sweep it to prove exactly that, and the scaling
 /// bench uses it for its parallel-vs-serial measurement. Process-global;
-/// concurrent tests that flip it should serialize on a lock.
+/// concurrent tests that flip it should serialize on a lock and restore
+/// the previous value with [`override_guard`] so a failing test cannot
+/// poison later ones.
 pub fn set_thread_override(n: Option<NonZeroUsize>) {
     THREAD_OVERRIDE.store(n.map_or(0, NonZeroUsize::get), Ordering::SeqCst);
 }
@@ -57,6 +82,34 @@ pub fn set_thread_override(n: Option<NonZeroUsize>) {
 /// The active thread-count override, if any.
 pub fn thread_override() -> Option<NonZeroUsize> {
     NonZeroUsize::new(THREAD_OVERRIDE.load(Ordering::SeqCst))
+}
+
+/// RAII handle restoring the previous thread-count override on drop; see
+/// [`override_guard`].
+#[must_use = "dropping the guard immediately restores the previous override"]
+#[derive(Debug)]
+pub struct ThreadOverrideGuard {
+    prev: Option<NonZeroUsize>,
+}
+
+/// Sets the thread-count override to `n` and returns a guard that restores
+/// the *previous* value when dropped — including during a panic unwind, so
+/// a failing test or bench cannot leave its override in place to poison
+/// whatever runs next in the same process.
+///
+/// Tests that sweep several counts can keep calling
+/// [`set_thread_override`] inside the guard's scope; the guard always
+/// restores the value it captured at construction.
+pub fn override_guard(n: Option<NonZeroUsize>) -> ThreadOverrideGuard {
+    let prev = thread_override();
+    set_thread_override(n);
+    ThreadOverrideGuard { prev }
+}
+
+impl Drop for ThreadOverrideGuard {
+    fn drop(&mut self) {
+        set_thread_override(self.prev);
+    }
 }
 
 /// `available_parallelism`, read once per process. The std call is not
@@ -68,24 +121,225 @@ fn auto_threads() -> usize {
     *AUTO.get_or_init(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
 }
 
-/// Maps `f` over `items`, in order, using up to `available_parallelism`
-/// threads (or the [`set_thread_override`] count, when set). Inputs shorter
-/// than `min_len` (or single-core machines) run serially. Results are
-/// returned in input order regardless of scheduling, so output is
-/// deterministic.
+/// Per-worker scheduling statistics of one parallel map call: the raw
+/// material for load-balance measurements (the scaling bench's skewed
+/// fleet portfolio records [`StealStats::balance`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StealStats {
+    /// Busy wall-clock seconds per worker, from thread start to the moment
+    /// the shared cursor ran dry for it. One entry per worker; exactly one
+    /// entry when the call took the serial fallback.
+    pub worker_busy_seconds: Vec<f64>,
+    /// Items processed per worker (sums to the input length).
+    pub worker_items: Vec<usize>,
+}
+
+impl StealStats {
+    /// Number of workers that participated (1 for the serial fallback).
+    pub fn workers(&self) -> usize {
+        self.worker_busy_seconds.len()
+    }
+
+    /// Load balance as max/min worker busy-time over the workers that
+    /// processed at least one item: 1.0 is perfect, large values mean
+    /// some loaded workers sat on far less work than others. Workers that
+    /// claimed nothing are excluded — a thread that spawned after the
+    /// cursor ran dry is spawn latency, not imbalance, and dividing by
+    /// its ~zero busy time would turn the metric into noise. Defined as
+    /// 1.0 when fewer than two workers processed items (including the
+    /// serial fallback).
+    pub fn balance(&self) -> f64 {
+        let busy = || {
+            self.worker_busy_seconds
+                .iter()
+                .zip(&self.worker_items)
+                .filter(|&(_, &items)| items > 0)
+                .map(|(&secs, _)| secs)
+        };
+        if busy().count() < 2 {
+            return 1.0;
+        }
+        let max = busy().fold(0.0f64, f64::max);
+        let min = busy().fold(f64::INFINITY, f64::min);
+        if min > 0.0 {
+            max / min
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// How many steal blocks each worker's fair share is split into. Higher
+/// means finer-grained stealing (better balance, more cursor contention);
+/// 8 keeps the block claim cost negligible while letting a worker that
+/// drew the expensive items shed the rest of the slice to its peers.
+const BLOCKS_PER_WORKER: usize = 8;
+
+/// Steal-block size for `len` items over `threads` workers: small blocks,
+/// never zero. For the fleet's portfolio-sized inputs this degenerates to
+/// single-item stealing, which is what a handful of wildly-uneven
+/// instances wants.
+fn steal_block(len: usize, threads: usize) -> usize {
+    (len / (threads * BLOCKS_PER_WORKER)).max(1)
+}
+
+/// The worker count a call over `len` items would fan out to; 1 means the
+/// serial fallback (small input, single core, nested call, or an override
+/// of one).
+fn fanout_threads(len: usize, min_len: usize) -> usize {
+    let threads = thread_override().map_or_else(auto_threads, NonZeroUsize::get);
+    if len < min_len.max(2) || threads < 2 || in_parallel_worker() {
+        1
+    } else {
+        threads.min(len)
+    }
+}
+
+/// The serial schedule: one context, one in-order pass. Both the fallback
+/// path and the one-thread reference the determinism tests compare
+/// against.
+fn serial_map<C, T, R>(
+    items: &[T],
+    make_ctx: impl Fn() -> C,
+    f: impl Fn(&mut C, usize, &T) -> R,
+) -> Vec<R> {
+    let mut ctx = make_ctx();
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| f(&mut ctx, i, item))
+        .collect()
+}
+
+/// The work-stealing schedule: `threads` workers share an atomic cursor,
+/// claim small blocks of consecutive indices, and tag every result with
+/// its input index; the caller-side reassembly writes each result into its
+/// input-order slot, so the output is bit-identical to [`serial_map`].
+fn steal_map<C, T, R, F>(
+    items: &[T],
+    threads: usize,
+    make_ctx: &(impl Fn() -> C + Sync),
+    f: &F,
+) -> (Vec<R>, StealStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    let block = steal_block(items.len(), threads);
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<(Vec<(usize, R)>, f64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Fresh OS thread: mark it so nested calls in `f` run
+                    // serially instead of spawning another layer.
+                    IN_WORKER.with(|w| w.set(true));
+                    let t0 = Instant::now();
+                    let mut ctx = make_ctx();
+                    let mut part: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + block).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            part.push((start + i, f(&mut ctx, start + i, item)));
+                        }
+                    }
+                    (part, t0.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        parts = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                // Surface the worker's own panic payload on the caller,
+                // not a second-hand "worker panicked" message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
+    });
+    let mut stats = StealStats::default();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (part, busy) in parts {
+        stats.worker_items.push(part.len());
+        stats.worker_busy_seconds.push(busy);
+        for (i, r) in part {
+            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+            slots[i] = Some(r);
+        }
+    }
+    let out = slots
+        .into_iter()
+        .map(|s| s.expect("stealing cursor covers every index exactly once"))
+        .collect();
+    (out, stats)
+}
+
+/// Maps `f` over `items` with the index of each item, using up to
+/// `available_parallelism` work-stealing workers (or the
+/// [`set_thread_override`] count, when set). Inputs shorter than `min_len`
+/// (or single-core machines, or calls from inside a worker) run serially.
+/// Results land in input order regardless of which worker computed them,
+/// so output is deterministic at every thread count.
+pub fn par_map_indexed<T, R, F>(items: &[T], min_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = fanout_threads(items.len(), min_len);
+    if threads < 2 {
+        return serial_map(items, || (), |(), i, item| f(i, item));
+    }
+    steal_map(items, threads, &|| (), &|(): &mut (), i, item| f(i, item)).0
+}
+
+/// Like [`par_map_indexed`], but additionally returns the per-worker
+/// [`StealStats`] of the run — the fleet layer's balance measurements ride
+/// on this. The serial fallback reports a single worker whose busy time is
+/// the whole loop.
+pub fn par_map_indexed_stats<T, R, F>(items: &[T], min_len: usize, f: F) -> (Vec<R>, StealStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = fanout_threads(items.len(), min_len);
+    if threads < 2 {
+        let t0 = Instant::now();
+        let out = serial_map(items, || (), |(), i, item| f(i, item));
+        let stats = StealStats {
+            worker_busy_seconds: vec![t0.elapsed().as_secs_f64()],
+            worker_items: vec![items.len()],
+        };
+        return (out, stats);
+    }
+    steal_map(items, threads, &|| (), &|(): &mut (), i, item| f(i, item))
+}
+
+/// Maps `f` over `items`, in input order — a thin wrapper over the
+/// work-stealing scheduler of [`par_map_indexed`] that ignores the item
+/// index.
 pub fn par_map<T, R, F>(items: &[T], min_len: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_with(items, min_len, || (), move |(), item| f(item))
+    par_map_indexed(items, min_len, |_, item| f(item))
 }
 
 /// Like [`par_map`], but each worker thread builds one scratch context
-/// with `make_ctx` and threads it through its whole chunk — for callers
-/// whose per-item work wants reusable buffers without per-item
-/// allocation. The serial fallback builds exactly one context.
+/// with `make_ctx` and threads it through every item it steals — for
+/// callers whose per-item work wants reusable buffers without per-item
+/// allocation. The serial fallback builds exactly one context. A thin
+/// wrapper over the same work-stealing scheduler as [`par_map_indexed`].
 pub fn par_map_with<C, T, R, F>(
     items: &[T],
     min_len: usize,
@@ -97,49 +351,37 @@ where
     R: Send,
     F: Fn(&mut C, &T) -> R + Sync,
 {
-    let threads = thread_override().map_or_else(auto_threads, NonZeroUsize::get);
-    if items.len() < min_len.max(2) || threads < 2 || in_parallel_worker() {
-        let mut ctx = make_ctx();
-        return items.iter().map(|item| f(&mut ctx, item)).collect();
+    let threads = fanout_threads(items.len(), min_len);
+    if threads < 2 {
+        return serial_map(items, make_ctx, |ctx, _, item| f(ctx, item));
     }
-    let threads = threads.min(items.len());
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Vec<R>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(|| {
-                    // Fresh OS thread: mark it so nested par_map calls in
-                    // `f` run serially instead of spawning another layer.
-                    IN_WORKER.with(|w| w.set(true));
-                    let mut ctx = make_ctx();
-                    part.iter()
-                        .map(|item| f(&mut ctx, item))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        out = handles
-            .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
-            .collect();
-    });
-    out.into_iter().flatten().collect()
+    steal_map(items, threads, &make_ctx, &|ctx: &mut C, _, item| {
+        f(ctx, item)
+    })
+    .0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, MutexGuard};
 
     /// Tests touching the process-global override (or asserting worker
     /// counts, which the override perturbs) serialize on this lock.
     static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
+    /// Lock + RAII override for a test: serializes on [`OVERRIDE_LOCK`]
+    /// and restores the previous override when dropped — even when the
+    /// test body panics mid-sweep, so one failing test cannot poison the
+    /// override for the rest of the binary.
+    fn pinned(n: Option<NonZeroUsize>) -> (MutexGuard<'static, ()>, ThreadOverrideGuard) {
+        let lock = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        (lock, override_guard(n))
+    }
+
     #[test]
     fn thread_override_is_respected_and_results_invariant() {
-        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _pin = pinned(None);
         let items: Vec<u64> = (0..500).collect();
         let expected: Vec<u64> = items.iter().map(|x| x * 7).collect();
         for n in [1usize, 2, 3, 8] {
@@ -153,11 +395,104 @@ mod tests {
     }
 
     #[test]
+    fn override_guard_restores_previous_value() {
+        let _pin = pinned(NonZeroUsize::new(3));
+        {
+            let _inner = override_guard(NonZeroUsize::new(7));
+            assert_eq!(thread_override(), NonZeroUsize::new(7));
+            // Sweeping inside the guard is fine; drop restores 3, not 5.
+            set_thread_override(NonZeroUsize::new(5));
+        }
+        assert_eq!(thread_override(), NonZeroUsize::new(3));
+    }
+
+    #[test]
     fn preserves_order_and_values() {
         let items: Vec<u64> = (0..1000).collect();
         let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
         let parallel = par_map(&items, 0, |x| x * 3 + 1);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn indexed_map_sees_input_indices() {
+        let _pin = pinned(NonZeroUsize::new(4));
+        let items: Vec<u64> = (0..777).map(|x| x * 2).collect();
+        let out = par_map_indexed(&items, 0, |i, &x| (i as u64) * 1000 + x);
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as u64) * 1000 + x)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn skewed_costs_stay_bit_identical() {
+        // One very expensive item at the front, many cheap ones behind it:
+        // the work-stealing schedule must reassemble input order exactly.
+        let _pin = pinned(NonZeroUsize::new(4));
+        let items: Vec<u32> = (0..97).map(|i| if i == 0 { 200_000 } else { 50 }).collect();
+        let crunch = |x: u32| -> u64 { (0..x as u64).fold(7u64, |a, b| a.wrapping_mul(31) ^ b) };
+        let serial: Vec<u64> = items.iter().map(|&x| crunch(x)).collect();
+        assert_eq!(par_map(&items, 0, |&x| crunch(x)), serial);
+    }
+
+    #[test]
+    fn stats_cover_every_item_and_worker() {
+        let _pin = pinned(NonZeroUsize::new(4));
+        let items: Vec<u64> = (0..300).collect();
+        let (out, stats) = par_map_indexed_stats(&items, 0, |_, &x| x + 1);
+        assert_eq!(out, (1..=300).collect::<Vec<u64>>());
+        assert_eq!(stats.workers(), 4);
+        assert_eq!(stats.worker_items.iter().sum::<usize>(), items.len());
+        assert!(stats.balance() >= 1.0);
+    }
+
+    #[test]
+    fn balance_ignores_workers_that_claimed_nothing() {
+        // A worker that spawned after the cursor ran dry (0 items, ~zero
+        // busy time) is spawn latency, not imbalance.
+        let stats = StealStats {
+            worker_busy_seconds: vec![2.0, 1.0, 1e-7],
+            worker_items: vec![5, 3, 0],
+        };
+        assert_eq!(stats.balance(), 2.0);
+        let one_loaded = StealStats {
+            worker_busy_seconds: vec![2.0, 1e-7],
+            worker_items: vec![8, 0],
+        };
+        assert_eq!(one_loaded.balance(), 1.0);
+    }
+
+    #[test]
+    fn serial_fallback_reports_one_worker() {
+        let _pin = pinned(NonZeroUsize::new(1));
+        let items: Vec<u64> = (0..10).collect();
+        let (_, stats) = par_map_indexed_stats(&items, 0, |_, &x| x);
+        assert_eq!(stats.workers(), 1);
+        assert_eq!(stats.worker_items, vec![10]);
+        assert_eq!(stats.balance(), 1.0);
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_caller() {
+        let _pin = pinned(NonZeroUsize::new(4));
+        let items: Vec<u64> = (0..64).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, 0, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("the worker panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("format-style panics carry a String payload");
+        assert_eq!(msg, "boom at 13");
     }
 
     #[test]
@@ -174,8 +509,7 @@ mod tests {
 
     #[test]
     fn nested_par_map_runs_serially_inside_workers() {
-        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        set_thread_override(NonZeroUsize::new(4));
+        let _pin = pinned(NonZeroUsize::new(4));
         assert!(!in_parallel_worker(), "main thread is not a worker");
         let items: Vec<u64> = (0..64).collect();
         // Each outer item runs an inner par_map; the guard must force the
@@ -185,7 +519,6 @@ mod tests {
             let inner: Vec<u64> = par_map(&[x, x + 1, x + 2], 0, |y| y * 2);
             (in_parallel_worker(), inner)
         });
-        set_thread_override(None);
         for (i, (flagged, inner)) in nested_flags.iter().enumerate() {
             assert!(*flagged, "outer item {i} should run on a marked worker");
             let x = i as u64;
@@ -195,7 +528,11 @@ mod tests {
 
     #[test]
     fn par_map_with_reuses_one_context_per_worker() {
-        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Pin the override: the worker-count bound below must match the
+        // fan-out actually used, not whatever `available_parallelism`
+        // says — and certainly not an override a previously-failed test
+        // left behind (the RAII guards rule that out, too).
+        let _pin = pinned(NonZeroUsize::new(4));
         let items: Vec<u64> = (0..10_000).collect();
         let contexts = AtomicUsize::new(0);
         let out = par_map_with(
@@ -212,7 +549,10 @@ mod tests {
             },
         );
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = thread_override().map_or_else(
+            || std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            NonZeroUsize::get,
+        );
         assert!(
             contexts.load(Ordering::SeqCst) <= workers.min(items.len()),
             "one context per worker, not per item"

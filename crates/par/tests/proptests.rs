@@ -1,0 +1,87 @@
+//! Scheduler determinism under skew: random mixed-cost workloads mapped at
+//! thread overrides 1/2/3/8 must produce output bit-identical to the
+//! serial schedule — work stealing changes who computes an item, never
+//! what lands in its slot.
+
+use std::num::NonZeroUsize;
+
+use proptest::prelude::*;
+
+/// Deterministic busy-work whose cost scales with `rounds`: the value the
+/// scheduler must reproduce regardless of which worker crunched it.
+fn crunch(x: u64, rounds: u32) -> u64 {
+    (0..rounds as u64).fold(x, |acc, i| {
+        acc.wrapping_mul(6364136223846793005)
+            .wrapping_add(i)
+            .rotate_left(17)
+    })
+}
+
+/// A skewed workload: item values plus per-item cost classes mixing very
+/// cheap items with items hundreds of times more expensive, in random
+/// positions — the shape that starves a fixed contiguous-chunk schedule.
+fn workload() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    (1usize..120, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        (0..n)
+            .map(|_| {
+                let value = next();
+                let rounds = match next() % 5 {
+                    0 => 12_000, // expensive outlier
+                    1 => 800,
+                    _ => 40, // the cheap majority
+                };
+                (value, rounds as u32)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stealing_is_bit_identical_to_serial_across_thread_counts(items in workload()) {
+        // RAII: a failing case restores whatever override was active
+        // before this test instead of leaking its last sweep value.
+        let _guard = astdme_par::override_guard(NonZeroUsize::new(1));
+        let f = |i: usize, &(v, rounds): &(u64, u32)| crunch(v ^ i as u64, rounds);
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+        prop_assert_eq!(&astdme_par::par_map_indexed(&items, 0, f), &serial);
+        for threads in [2usize, 3, 8] {
+            astdme_par::set_thread_override(NonZeroUsize::new(threads));
+            prop_assert_eq!(
+                &astdme_par::par_map_indexed(&items, 0, f),
+                &serial,
+                "par_map_indexed diverged at {} threads", threads
+            );
+            let (out, stats) = astdme_par::par_map_indexed_stats(&items, 0, f);
+            prop_assert_eq!(&out, &serial, "stats variant diverged at {} threads", threads);
+            prop_assert_eq!(stats.worker_items.iter().sum::<usize>(), items.len());
+            let plain: Vec<u64> = astdme_par::par_map(&items, 0, |&(v, rounds)| crunch(v, rounds));
+            let plain_serial: Vec<u64> =
+                items.iter().map(|&(v, rounds)| crunch(v, rounds)).collect();
+            prop_assert_eq!(&plain, &plain_serial, "par_map diverged at {} threads", threads);
+            let with_ctx = astdme_par::par_map_with(
+                &items,
+                0,
+                || 0u64,
+                |scratch, &(v, rounds)| {
+                    *scratch = crunch(v, rounds);
+                    *scratch
+                },
+            );
+            prop_assert_eq!(&with_ctx, &plain_serial, "par_map_with diverged at {} threads", threads);
+        }
+    }
+}

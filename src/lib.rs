@@ -15,8 +15,12 @@
 //!   [`pipeline`] (group → merge → embed → repair
 //!   → audit); [`ClockRouter::route_traced`] returns the tree together
 //!   with its audit report and per-stage [`StageStats`], and
-//!   [`route_batch`] fans whole instance portfolios out across threads
-//!   with input-ordered, bit-identical results.
+//!   [`route_batch`] fans whole instance portfolios out across
+//!   work-stealing threads — scheduled costliest-first by a
+//!   [`CostModel`]-driven [`BatchPlan`] — with input-ordered,
+//!   bit-identical results and per-instance failure isolation (a
+//!   panicking route surfaces as [`RouteError::Panicked`] in its own
+//!   slot).
 //! * [`instances`] — benchmark instance synthesis (`r1`–`r5` equivalents)
 //!   and group partitioners.
 //!
