@@ -5,6 +5,8 @@ use std::error::Error;
 
 use astdme_engine::InstanceError;
 
+use crate::pipeline::StageId;
+
 /// Error produced by a [`crate::ClockRouter`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum RouteError {
@@ -15,8 +17,58 @@ pub enum RouteError {
     /// The router panicked while routing this instance. Produced by the
     /// fleet layer ([`crate::fleet`]), which catches per-instance panics
     /// so one crashing route cannot poison the rest of a batch; carries
-    /// the panic message.
-    Panicked(String),
+    /// the batch index and sink count of the instance that died, so sweep
+    /// failure accounting and service logs can attribute the fault.
+    Panicked {
+        /// Batch (or sweep variant) index of the instance that panicked.
+        instance: usize,
+        /// Sink count of the instance that panicked.
+        sinks: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// The per-instance deadline budget ran out between pipeline stages
+    /// (see [`crate::fleet::BatchPolicy::deadline_seconds`]). The
+    /// overrunning instance fails alone; survivors' outcomes return
+    /// unchanged.
+    DeadlineExceeded {
+        /// Batch (or sweep variant) index of the overrunning instance.
+        instance: usize,
+        /// The stage after which the overrun was detected.
+        stage: StageId,
+        /// The configured budget, in seconds.
+        budget_seconds: f64,
+        /// Elapsed wall-clock at the failing checkpoint, in seconds.
+        elapsed_seconds: f64,
+    },
+    /// The pipeline produced a structurally invalid tree (non-finite
+    /// wire/position, or sinks not covered exactly once). Surfaced as a
+    /// typed error instead of an audit panic so batch callers can account
+    /// for it per instance; exercised on purpose by
+    /// [`FaultKind::Corrupt`](crate::fault::FaultKind::Corrupt) injection.
+    MalformedOutput {
+        /// Batch index when routed through the fleet layer, `None` for a
+        /// direct `route_traced` call.
+        instance: Option<usize>,
+        /// What the output validation found.
+        detail: String,
+    },
+}
+
+impl RouteError {
+    /// A short, stable identifier for failure accounting (robustness
+    /// reports, bench JSON, service logs): one of `"instance"`,
+    /// `"bad_parameter"`, `"panicked"`, `"deadline_exceeded"`,
+    /// `"malformed_output"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Instance(_) => "instance",
+            Self::BadParameter(_) => "bad_parameter",
+            Self::Panicked { .. } => "panicked",
+            Self::DeadlineExceeded { .. } => "deadline_exceeded",
+            Self::MalformedOutput { .. } => "malformed_output",
+        }
+    }
 }
 
 impl fmt::Display for RouteError {
@@ -24,7 +76,28 @@ impl fmt::Display for RouteError {
         match self {
             Self::Instance(e) => write!(f, "invalid instance: {e}"),
             Self::BadParameter(msg) => write!(f, "invalid router parameter: {msg}"),
-            Self::Panicked(msg) => write!(f, "router panicked: {msg}"),
+            Self::Panicked {
+                instance,
+                sinks,
+                message,
+            } => write!(
+                f,
+                "router panicked on instance {instance} (n={sinks}): {message}"
+            ),
+            Self::DeadlineExceeded {
+                instance,
+                stage,
+                budget_seconds,
+                elapsed_seconds,
+            } => write!(
+                f,
+                "instance {instance} exceeded its deadline after the {stage} stage: \
+                 {elapsed_seconds:.4}s elapsed of a {budget_seconds:.4}s budget"
+            ),
+            Self::MalformedOutput { instance, detail } => match instance {
+                Some(i) => write!(f, "malformed routed tree for instance {i}: {detail}"),
+                None => write!(f, "malformed routed tree: {detail}"),
+            },
         }
     }
 }
@@ -33,7 +106,10 @@ impl Error for RouteError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Instance(e) => Some(e),
-            Self::BadParameter(_) | Self::Panicked(_) => None,
+            Self::BadParameter(_)
+            | Self::Panicked { .. }
+            | Self::DeadlineExceeded { .. }
+            | Self::MalformedOutput { .. } => None,
         }
     }
 }
@@ -54,6 +130,7 @@ mod tests {
         assert!(matches!(e, RouteError::Instance(_)));
         assert!(e.to_string().contains("no sinks"));
         assert!(e.source().is_some());
+        assert_eq!(e.kind(), "instance");
     }
 
     #[test]
@@ -61,13 +138,52 @@ mod tests {
         let e = RouteError::BadParameter("bound must be non-negative".into());
         assert!(e.to_string().contains("bound"));
         assert!(e.source().is_none());
+        assert_eq!(e.kind(), "bad_parameter");
     }
 
     #[test]
-    fn panicked_display() {
-        let e = RouteError::Panicked("index out of bounds".into());
-        assert!(e.to_string().contains("panicked"));
-        assert!(e.to_string().contains("index out of bounds"));
+    fn panicked_attributes_the_instance() {
+        let e = RouteError::Panicked {
+            instance: 7,
+            sinks: 250,
+            message: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("panicked"));
+        assert!(s.contains("instance 7"));
+        assert!(s.contains("n=250"));
+        assert!(s.contains("index out of bounds"));
         assert!(e.source().is_none());
+        assert_eq!(e.kind(), "panicked");
+    }
+
+    #[test]
+    fn deadline_display_names_stage_and_budget() {
+        let e = RouteError::DeadlineExceeded {
+            instance: 3,
+            stage: StageId::Merge,
+            budget_seconds: 0.5,
+            elapsed_seconds: 0.75,
+        };
+        let s = e.to_string();
+        assert!(s.contains("instance 3"));
+        assert!(s.contains("merge"));
+        assert!(s.contains("0.5"));
+        assert_eq!(e.kind(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn malformed_output_display() {
+        let anon = RouteError::MalformedOutput {
+            instance: None,
+            detail: "node 0 wire is NaN".into(),
+        };
+        assert!(anon.to_string().contains("malformed"));
+        let indexed = RouteError::MalformedOutput {
+            instance: Some(4),
+            detail: "node 0 wire is NaN".into(),
+        };
+        assert!(indexed.to_string().contains("instance 4"));
+        assert_eq!(indexed.kind(), "malformed_output");
     }
 }

@@ -47,6 +47,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use astdme_engine::Instance;
 
+use crate::fault::FaultPlan;
 use crate::pipeline::{RouteOutcome, RouteStats};
 use crate::{ClockRouter, RouteError};
 
@@ -134,6 +135,49 @@ impl CostModel {
     }
 }
 
+/// Per-batch hardening policy: deadline budgets, fault injection, and
+/// index attribution for errors.
+///
+/// The default policy is exactly the historic behavior — no deadline, no
+/// injected faults, errors attributed by position in the batch — so
+/// [`route_batch`] and [`BatchPlan::route`] are unchanged for existing
+/// callers. The robustness sweep ([`crate::robustness`]) and the
+/// fault-tolerance tests construct explicit policies.
+#[derive(Debug, Clone, Default)]
+pub struct BatchPolicy {
+    /// Per-instance wall-clock budget in seconds, checked cooperatively at
+    /// the checkpoint after every pipeline stage; an overrun fails that
+    /// instance's slot with [`RouteError::DeadlineExceeded`] while the
+    /// rest of the batch returns unchanged. `None` disables the check.
+    pub deadline_seconds: Option<f64>,
+    /// Deterministic fault schedule, keyed by *attributed* instance index
+    /// (i.e. batch position plus [`BatchPolicy::index_offset`]).
+    pub faults: FaultPlan,
+    /// Added to each instance's batch position for error attribution and
+    /// fault lookup — a chunked sweep sets this to the chunk's base so
+    /// errors carry sweep-global variant indices.
+    pub index_offset: usize,
+}
+
+impl BatchPolicy {
+    /// The default policy: no deadline, no faults, zero offset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-instance deadline budget; returns `self` for chaining.
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        self.deadline_seconds = Some(seconds);
+        self
+    }
+
+    /// Sets the fault schedule; returns `self` for chaining.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
 /// A schedule for routing one batch: per-instance cost estimates plus the
 /// largest-first order the work-stealing pool consumes them in.
 ///
@@ -199,6 +243,23 @@ impl BatchPlan {
     where
         R: ClockRouter + Sync + ?Sized,
     {
+        self.route_with_policy(instances, router, &BatchPolicy::default())
+    }
+
+    /// Like [`BatchPlan::route_with_stats`], under an explicit
+    /// [`BatchPolicy`]: per-instance deadlines, deterministic fault
+    /// injection, and index-offset attribution. Instances the policy does
+    /// not touch return outcomes bit-identical to a policy-free run at
+    /// every thread count.
+    pub fn route_with_policy<R>(
+        &self,
+        instances: &[Instance],
+        router: &R,
+        policy: &BatchPolicy,
+    ) -> (Vec<Result<RouteOutcome, RouteError>>, StealStats)
+    where
+        R: ClockRouter + Sync + ?Sized,
+    {
         assert_eq!(
             self.order.len(),
             instances.len(),
@@ -206,7 +267,7 @@ impl BatchPlan {
         );
         let (scheduled, stats) =
             astdme_par::par_map_indexed_stats(&self.order, MIN_BATCH_FANOUT, |_slot, &idx| {
-                route_caught(router, &instances[idx])
+                route_caught(router, &instances[idx], idx + policy.index_offset, policy)
             });
         // Scatter from schedule order back to input-order slots.
         let mut out: Vec<Option<Result<RouteOutcome, RouteError>>> =
@@ -223,20 +284,36 @@ impl BatchPlan {
     }
 }
 
-/// Routes one instance, converting a panic inside the router into a
-/// per-instance [`RouteError::Panicked`] carrying the panic message — the
-/// isolation guarantee of the fleet layer.
-fn route_caught<R>(router: &R, inst: &Instance) -> Result<RouteOutcome, RouteError>
+/// Routes one instance under the batch policy, converting a panic inside
+/// the router into a per-instance [`RouteError::Panicked`] attributed with
+/// the instance's index and sink count — the isolation guarantee of the
+/// fleet layer. Installs the thread-local route context the pipeline's
+/// fault/deadline checkpoints poll; the RAII guard clears it even when the
+/// route panics, so the worker thread is clean for its next instance.
+fn route_caught<R>(
+    router: &R,
+    inst: &Instance,
+    index: usize,
+    policy: &BatchPolicy,
+) -> Result<RouteOutcome, RouteError>
 where
     R: ClockRouter + ?Sized,
 {
-    catch_unwind(AssertUnwindSafe(|| router.route_traced(inst))).unwrap_or_else(|payload| {
-        let msg = payload
+    catch_unwind(AssertUnwindSafe(|| {
+        let _ctx = crate::fault::install(index, policy.deadline_seconds, policy.faults.get(index));
+        router.route_traced(inst)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = payload
             .downcast_ref::<&str>()
             .map(|s| (*s).to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "non-string panic payload".to_string());
-        Err(RouteError::Panicked(msg))
+        Err(RouteError::Panicked {
+            instance: index,
+            sinks: inst.sink_count(),
+            message,
+        })
     })
 }
 
@@ -421,13 +498,182 @@ mod tests {
         let batch = route_batch(&instances, &router);
         assert_eq!(batch.len(), 3);
         match &batch[1] {
-            Err(RouteError::Panicked(msg)) => assert!(msg.contains("injected panic"), "{msg}"),
+            Err(RouteError::Panicked {
+                instance,
+                sinks,
+                message,
+            }) => {
+                assert_eq!(*instance, 1, "panic attributed to the wrong slot");
+                assert_eq!(*sinks, 9);
+                assert!(message.contains("injected panic"), "{message}");
+            }
             other => panic!("expected Panicked, got {other:?}"),
         }
         for i in [0usize, 2] {
             let seq = AstDme::new().route_traced(&instances[i]).expect("routes");
             let out = batch[i].as_ref().expect("survivors route normally");
             assert_eq!(out.tree, seq.tree, "instance {i}");
+        }
+    }
+
+    /// A 1-sink instance: the single sink forms its own (only) group.
+    fn one_sink_inst() -> Instance {
+        Instance::new(
+            vec![Sink::new(Point::new(500.0, 700.0), 1e-14)],
+            Groups::single(1).unwrap(),
+            RcParams::default(),
+            Point::new(0.0, 0.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_batch_plan_has_no_order_and_routes_to_nothing() {
+        let plan = BatchPlan::new(&[]);
+        assert!(plan.order().is_empty());
+        assert!(plan.costs().is_empty());
+        assert!(plan.route(&[], &AstDme::new()).is_empty());
+        // With a calibrated model too.
+        let mut model = CostModel::new();
+        model.observe(&inst(8, 0.0), &stats_with_merge_seconds(1.0));
+        assert!(BatchPlan::with_model(&[], &model).order().is_empty());
+    }
+
+    #[test]
+    fn one_sink_instance_costs_are_finite_and_routable() {
+        let tiny = one_sink_inst();
+        // n=1 ⇒ log2(n) = 0; the .max(1.0) floor keeps the cost positive
+        // and finite, never NaN.
+        let cost = CostModel::static_cost(&tiny);
+        assert!(cost.is_finite() && cost > 0.0, "got {cost}");
+        let model = CostModel::new();
+        assert!(model.estimate(&tiny).is_finite());
+        let plan = BatchPlan::new(std::slice::from_ref(&tiny));
+        assert_eq!(plan.order(), &[0]);
+        assert!(plan.costs()[0].is_finite());
+        let batch = plan.route(std::slice::from_ref(&tiny), &AstDme::new());
+        let out = batch[0].as_ref().expect("1-sink instance routes");
+        assert_eq!(out.tree.sink_nodes().count(), 1);
+        // Mixed with a normal instance, scheduling still works.
+        let mixed = vec![tiny, inst(12, 0.0)];
+        let plan = BatchPlan::new(&mixed);
+        assert_eq!(plan.order(), &[1, 0], "larger instance schedules first");
+        assert!(route_batch(&mixed, &AstDme::new())
+            .iter()
+            .all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn observing_a_one_sink_instance_keeps_estimates_finite() {
+        let tiny = one_sink_inst();
+        let mut model = CostModel::new();
+        model.observe(&tiny, &stats_with_merge_seconds(0.25));
+        assert!((model.estimate(&tiny) - 0.25).abs() < 1e-12);
+        // Calibration from the 1-sink observation must not poison unseen
+        // shapes either.
+        assert!(model.estimate(&inst(10, 0.0)).is_finite());
+    }
+
+    #[test]
+    fn injected_panic_fault_is_attributed_with_the_offset() {
+        use crate::fault::{Fault, FaultKind};
+        use crate::pipeline::StageId;
+        let instances = vec![inst(8, 0.0), inst(9, 1.0), inst(10, 2.0)];
+        let policy = BatchPolicy::new().with_faults(FaultPlan::new().inject(
+            101,
+            Fault {
+                stage: StageId::Merge,
+                kind: FaultKind::Panic,
+            },
+        ));
+        let policy = BatchPolicy {
+            index_offset: 100,
+            ..policy
+        };
+        let plan = BatchPlan::new(&instances);
+        let (batch, _) = plan.route_with_policy(&instances, &AstDme::new(), &policy);
+        match &batch[1] {
+            Err(RouteError::Panicked {
+                instance,
+                sinks,
+                message,
+            }) => {
+                assert_eq!(*instance, 101, "offset must flow into attribution");
+                assert_eq!(*sinks, 9);
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Survivors are bit-identical to a policy-free run.
+        let clean = route_batch(&instances, &AstDme::new());
+        for i in [0usize, 2] {
+            assert_eq!(
+                batch[i].as_ref().unwrap().tree,
+                clean[i].as_ref().unwrap().tree,
+                "survivor {i} diverged under the fault policy"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_corruption_surfaces_as_malformed_output() {
+        use crate::fault::{Fault, FaultKind};
+        use crate::pipeline::StageId;
+        let instances = vec![inst(8, 0.0), inst(9, 1.0)];
+        let policy = BatchPolicy::new().with_faults(FaultPlan::new().inject(
+            0,
+            Fault {
+                stage: StageId::Embed,
+                kind: FaultKind::Corrupt,
+            },
+        ));
+        let plan = BatchPlan::new(&instances);
+        let (batch, _) = plan.route_with_policy(&instances, &AstDme::new(), &policy);
+        match &batch[0] {
+            Err(RouteError::MalformedOutput { instance, detail }) => {
+                assert_eq!(*instance, Some(0));
+                assert!(detail.contains("wire"), "{detail}");
+            }
+            other => panic!("expected MalformedOutput, got {other:?}"),
+        }
+        assert!(batch[1].is_ok(), "survivor must route normally");
+    }
+
+    #[test]
+    fn deadline_overrun_fails_only_the_stalled_instance() {
+        use crate::fault::{Fault, FaultKind};
+        use crate::pipeline::StageId;
+        let instances = vec![inst(8, 0.0), inst(9, 1.0), inst(10, 2.0)];
+        // The budget is orders of magnitude above what these tiny
+        // instances need, and the injected stall is above the budget:
+        // only instance 2 can overrun, even on a loaded machine.
+        let policy = BatchPolicy::new()
+            .with_deadline(1.0)
+            .with_faults(FaultPlan::new().inject(
+                2,
+                Fault {
+                    stage: StageId::Embed,
+                    kind: FaultKind::Stall { seconds: 1.3 },
+                },
+            ));
+        let plan = BatchPlan::new(&instances);
+        let (batch, _) = plan.route_with_policy(&instances, &AstDme::new(), &policy);
+        match &batch[2] {
+            Err(RouteError::DeadlineExceeded {
+                instance, stage, ..
+            }) => {
+                assert_eq!(*instance, 2);
+                assert_eq!(*stage, StageId::Embed);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let clean = route_batch(&instances, &AstDme::new());
+        for i in [0usize, 1] {
+            assert_eq!(
+                batch[i].as_ref().unwrap().tree,
+                clean[i].as_ref().unwrap().tree,
+                "survivor {i} diverged under the deadline policy"
+            );
         }
     }
 }

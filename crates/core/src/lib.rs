@@ -47,8 +47,10 @@
 
 mod drivers;
 mod error;
+pub mod fault;
 pub mod fleet;
 pub mod pipeline;
+pub mod robustness;
 mod routers;
 
 pub use drivers::{
@@ -56,8 +58,14 @@ pub use drivers::{
     run_bottom_up_from_scratch, ForestSpace, MergeTrace,
 };
 pub use error::RouteError;
-pub use fleet::{route_batch, BatchPlan, CostModel, StealStats};
-pub use pipeline::{GroupingStage, MergeStage, RouteOutcome, RouteStats, StagePlan, StageStats};
+pub use fault::{Fault, FaultKind, FaultPlan};
+pub use fleet::{route_batch, BatchPlan, BatchPolicy, CostModel, StealStats};
+pub use pipeline::{
+    GroupingStage, MergeStage, RouteOutcome, RouteStats, StageId, StagePlan, StageStats,
+};
+pub use robustness::{
+    sweep, MetricSummary, PerturbationSpec, RobustnessReport, SweepConfig, VariantFailure,
+};
 pub use routers::{AstDme, ClockRouter, ExtBst, GreedyDme, StitchPerGroup};
 
 // The full modelling vocabulary, so downstream users need only this crate.

@@ -22,6 +22,7 @@
 //! harnesses (the bench tables, the fleet layer, `examples/fleet.rs`) stop
 //! hand-timing routers from the outside.
 
+use core::fmt;
 use std::time::Instant;
 
 use astdme_delay::DelayModel;
@@ -32,10 +33,48 @@ use astdme_engine::{
 use astdme_topo::TopoConfig;
 
 use crate::drivers::{merge_until_one_traced, MergeTrace};
-use crate::RouteError;
+use crate::{fault, RouteError};
 
 /// Iteration budget for the post-embedding skew repair pass.
 const REPAIR_ITERS: usize = 80;
+
+/// The five pipeline stages, in execution order. Names the stage a
+/// [`fault`] checkpoint fired at — the injection point of a
+/// [`fault::Fault`] and the attribution of a
+/// [`RouteError::DeadlineExceeded`] overrun.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageId {
+    /// Stage 1: deriving the routed-against instance.
+    Group,
+    /// Stage 2: forest construction plus the bottom-up merge loop.
+    Merge,
+    /// Stage 3: top-down embedding.
+    Embed,
+    /// Stage 4: post-embedding skew repair.
+    Repair,
+    /// Stage 5: the independent audit.
+    Audit,
+}
+
+impl StageId {
+    /// The stage's lowercase name, as used in error messages and bench
+    /// JSON: `"group"`, `"merge"`, `"embed"`, `"repair"`, `"audit"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Group => "group",
+            Self::Merge => "merge",
+            Self::Embed => "embed",
+            Self::Repair => "repair",
+            Self::Audit => "audit",
+        }
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Wall-clock and work counters for one pipeline stage. Fields that do
 /// not apply to a stage (e.g. `rounds` outside the merge stage) stay zero.
@@ -168,6 +207,7 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
     let routed_against = regrouped.as_ref().unwrap_or(inst);
     let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
     stats.group.seconds = t0.elapsed().as_secs_f64();
+    fault::checkpoint(StageId::Group)?;
 
     // Stage 2: plan/merge.
     let t0 = Instant::now();
@@ -200,11 +240,14 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
         merges: trace.merges,
         repair_iterations: 0,
     };
+    fault::checkpoint(StageId::Merge)?;
 
     // Stage 3: embed.
     let t0 = Instant::now();
     let tree = forest.embed(root, routed_against.source());
     stats.embed.seconds = t0.elapsed().as_secs_f64();
+    let tree = corrupt_if_requested(tree, StageId::Embed);
+    fault::checkpoint(StageId::Embed)?;
 
     // Stage 4: repair. The pass snakes leaf edges when a deep offset
     // conflict left residual skew (see [`repair_group_skew`]); on cleanly
@@ -224,6 +267,15 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
         repaired.tree
     };
     stats.repair.seconds = t0.elapsed().as_secs_f64();
+    let tree = corrupt_if_requested(tree, StageId::Repair);
+    fault::checkpoint(StageId::Repair)?;
+
+    // Output validation: the audit panics on a structurally broken tree
+    // (uncovered sinks), and downstream metrics would silently absorb a
+    // NaN wire. Reject malformed output as a typed per-instance error
+    // before auditing — the path [`fault::FaultKind::Corrupt`] injection
+    // exercises on purpose.
+    validate_tree(&tree, inst)?;
 
     // Stage 5: audit — against the *original* instance, so the report's
     // per-group skews refer to the groups the caller asked about, not a
@@ -231,12 +283,69 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
     let t0 = Instant::now();
     let report = audit(&tree, inst, &model);
     stats.audit.seconds = t0.elapsed().as_secs_f64();
+    fault::checkpoint(StageId::Audit)?;
 
     Ok(RouteOutcome {
         tree,
         report,
         stats,
     })
+}
+
+/// Applies an injected [`fault::FaultKind::Corrupt`] to the stage's tree
+/// (root wire becomes NaN) when one is scheduled here; identity otherwise.
+fn corrupt_if_requested(tree: RoutedTree, stage: StageId) -> RoutedTree {
+    if !fault::corrupt_requested(stage) {
+        return tree;
+    }
+    let mut nodes = tree.nodes().to_vec();
+    if let Some(node) = nodes.first_mut() {
+        node.wire = f64::NAN;
+    }
+    RoutedTree::new(tree.source(), nodes)
+}
+
+/// Structural validation of a routed tree against the instance it claims
+/// to route: finite non-negative wire lengths, finite positions, and every
+/// sink covered exactly once.
+///
+/// # Errors
+///
+/// Returns [`RouteError::MalformedOutput`] (attributed to the current
+/// fleet batch index, when routing under one) describing the first
+/// violation found.
+fn validate_tree(tree: &RoutedTree, inst: &Instance) -> Result<(), RouteError> {
+    let malformed = |detail: String| RouteError::MalformedOutput {
+        instance: fault::current_instance(),
+        detail,
+    };
+    let mut covered = vec![false; inst.sink_count()];
+    for (i, node) in tree.nodes().iter().enumerate() {
+        if !node.wire.is_finite() || node.wire < 0.0 {
+            return Err(malformed(format!(
+                "node {i} has a non-finite or negative wire length ({})",
+                node.wire
+            )));
+        }
+        if !node.pos.x.is_finite() || !node.pos.y.is_finite() {
+            return Err(malformed(format!("node {i} has a non-finite position")));
+        }
+        if let Some(sink) = node.sink {
+            if sink >= covered.len() {
+                return Err(malformed(format!(
+                    "node {i} claims out-of-range sink {sink}"
+                )));
+            }
+            if covered[sink] {
+                return Err(malformed(format!("sink {sink} is covered twice")));
+            }
+            covered[sink] = true;
+        }
+    }
+    if let Some(missing) = covered.iter().position(|&c| !c) {
+        return Err(malformed(format!("sink {missing} is not covered")));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -193,8 +193,17 @@ fn panicking_instance_fails_alone_and_leaves_the_rest_intact() {
     let batch = route_batch(&instances, &router);
     assert_eq!(batch.len(), 3);
     match &batch[1] {
-        Err(RouteError::Panicked(msg)) => {
-            assert!(msg.contains("injected panic"), "unexpected message: {msg}")
+        Err(RouteError::Panicked {
+            instance,
+            sinks,
+            message,
+        }) => {
+            assert_eq!(*instance, 1, "panic attributed to the wrong batch slot");
+            assert_eq!(*sinks, trip);
+            assert!(
+                message.contains("injected panic"),
+                "unexpected message: {message}"
+            );
         }
         other => panic!("instance 1 should surface the panic, got {other:?}"),
     }
