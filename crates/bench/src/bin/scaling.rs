@@ -45,6 +45,15 @@
 //!   on a single-core box where the fan-out falls back to serial) next to
 //!   instances/sec, and asserts batch wirelengths bit-equal to the
 //!   sequential loop (`"wirelength_bit_equal": true` in the JSON).
+//!
+//! Finally a `dedup` section measures the content-addressed subtree cache
+//! ([`astdme_core::SubtreeCache`]): a portfolio with repeated placements
+//! routed cold (no cache — every instance pays the full merge) vs warm
+//! (cache primed — every instance hits and splices). The portfolio is
+//! origin-anchored so the cached frame coincides with the uncached one;
+//! the binary asserts warm wirelengths bit-equal to cold
+//! (`"wirelength_bit_equal": true`) and the warm-over-cold throughput
+//! speedup at ≥ 1.5x.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,8 +61,8 @@ use std::time::Instant;
 
 use astdme_bench::{json, PAPER_BOUND};
 use astdme_core::{
-    run_bottom_up, run_bottom_up_from_scratch, AstDme, BatchPlan, ClockRouter, CostModel,
-    DelayModel, EngineConfig, Instance, TopoConfig,
+    route_batch, route_batch_cached, run_bottom_up, run_bottom_up_from_scratch, AstDme, BatchPlan,
+    ClockRouter, CostModel, DelayModel, EngineConfig, Instance, SubtreeCache, TopoConfig,
 };
 use astdme_instances::{partition, synthetic_instance};
 
@@ -76,6 +85,7 @@ static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        astdme_core::allocmeter::on_alloc();
         unsafe { System.alloc(layout) }
     }
 
@@ -85,6 +95,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        astdme_core::allocmeter::on_alloc();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -480,11 +491,138 @@ fn measure_portfolio(
     m
 }
 
+/// One subtree-cache dedup measurement: a repeated portfolio routed cold
+/// (no cache) vs warm (primed [`SubtreeCache`], every instance hits).
+#[derive(Debug, Clone)]
+struct DedupMeasurement {
+    /// Human-readable portfolio shape, e.g. `"3x250 x4 repeats"`.
+    sizes: String,
+    instances: usize,
+    unique_regions: usize,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    cold_instances_per_sec: f64,
+    warm_instances_per_sec: f64,
+    speedup_warm_over_cold: f64,
+    /// Lifetime hit rate of the measurement cache (prime pass + timed
+    /// warm reps).
+    cache_hit_rate: f64,
+}
+
+/// The dedup gate: warm cached routing of a repeated portfolio must beat
+/// cold uncached routing by at least this factor — a hit skips the merge
+/// loop entirely, so the margin is wide.
+const DEDUP_MIN_SPEEDUP: f64 = 1.5;
+
+/// Measures the content-addressed subtree cache on a portfolio of
+/// `DEDUP_UNIQUE` distinct instances at size `n`, each repeated
+/// `DEDUP_REPEATS` times (interleaved). Instances are translated so their
+/// bounding-box minimum corner sits exactly at the origin, which makes
+/// the cached pipeline's normalization the exact identity — warm (cached)
+/// and cold (uncached) outcomes are then bit-identical, and the binary
+/// asserts so on every wirelength.
+///
+/// Cold routes through [`route_batch`] with no cache attached; warm
+/// routes through [`route_batch_cached`] with a cache primed by one
+/// untimed pass, so every timed lookup hits (asserted: zero misses across
+/// the timed reps). Both paths are timed `DEDUP_REPS_TIMED` times in
+/// alternating order and the minimum kept — the same discipline as
+/// [`measure`]. The warm-over-cold throughput ratio is asserted
+/// ≥ [`DEDUP_MIN_SPEEDUP`].
+fn measure_dedup(n: usize) -> DedupMeasurement {
+    const DEDUP_UNIQUE: usize = 3;
+    const DEDUP_REPEATS: usize = 4;
+    const DEDUP_REPS_TIMED: usize = 3;
+    let distinct: Vec<Instance> = (0..DEDUP_UNIQUE)
+        .map(|i| {
+            let inst = instance_seeded(n, SEED.wrapping_add(0x1000 + i as u64));
+            // Anchor at the origin: `a - a = +0.0`, so the cached
+            // pipeline's translation normalization is the exact identity
+            // and cached outcomes coincide with uncached ones bit for bit.
+            let bb = inst.bounding_box();
+            inst.translated(-bb.x0(), -bb.y0()).expect("finite")
+        })
+        .collect();
+    let portfolio: Vec<Instance> = (0..DEDUP_REPEATS)
+        .flat_map(|_| distinct.iter().cloned())
+        .collect();
+    let router = AstDme::new().with_engine(EngineConfig::fast());
+    let cache = SubtreeCache::new(64);
+    // Prime: one untimed cached pass; afterwards every distinct region is
+    // resident, so the timed warm passes are all hits.
+    let primed = route_batch_cached(&portfolio, &router, &cache);
+    assert!(primed.iter().all(|r| r.is_ok()), "prime pass must route");
+    let stats_before_timed = cache.stats();
+    let mut best = [f64::INFINITY; 2]; // [cold, warm]
+    let mut cold_wls: Vec<f64> = Vec::new();
+    for rep in 0..DEDUP_REPS_TIMED {
+        let t0 = Instant::now();
+        let cold = route_batch(&portfolio, &router);
+        best[0] = best[0].min(t0.elapsed().as_secs_f64());
+        let wls: Vec<f64> = cold
+            .into_iter()
+            .map(|out| out.expect("routes").report.wirelength())
+            .collect();
+        if rep == 0 {
+            cold_wls = wls;
+        } else {
+            assert_eq!(cold_wls, wls, "cold routing must be deterministic");
+        }
+
+        let t0 = Instant::now();
+        let warm = route_batch_cached(&portfolio, &router, &cache);
+        best[1] = best[1].min(t0.elapsed().as_secs_f64());
+        for (i, (out, &expected)) in warm.into_iter().zip(&cold_wls).enumerate() {
+            let out = out.expect("routes");
+            assert!(out.stats.cache_hit, "warm instance {i} must hit");
+            let wl = out.report.wirelength();
+            assert!(
+                wl == expected,
+                "dedup cache diverged on instance {i}: {wl} vs {expected}"
+            );
+        }
+    }
+    let timed = cache.stats();
+    assert_eq!(
+        timed.misses, stats_before_timed.misses,
+        "primed cache must not miss during timed reps"
+    );
+    let m = DedupMeasurement {
+        sizes: format!("{DEDUP_UNIQUE}x{n} x{DEDUP_REPEATS} repeats"),
+        instances: portfolio.len(),
+        unique_regions: DEDUP_UNIQUE,
+        cold_seconds: best[0],
+        warm_seconds: best[1],
+        cold_instances_per_sec: portfolio.len() as f64 / best[0],
+        warm_instances_per_sec: portfolio.len() as f64 / best[1],
+        speedup_warm_over_cold: best[0] / best[1],
+        cache_hit_rate: timed.hit_rate(),
+    };
+    eprintln!(
+        "   dedup {}  cold {:.3}s ({:.2} inst/s)  warm {:.3}s ({:.2} inst/s)  speedup {:.2}x  hit rate {:.3}",
+        m.sizes,
+        m.cold_seconds,
+        m.cold_instances_per_sec,
+        m.warm_seconds,
+        m.warm_instances_per_sec,
+        m.speedup_warm_over_cold,
+        m.cache_hit_rate
+    );
+    assert!(
+        m.speedup_warm_over_cold >= DEDUP_MIN_SPEEDUP,
+        "subtree cache must beat cold routing by >= {DEDUP_MIN_SPEEDUP}x on a repeated \
+         portfolio, measured {:.2}x",
+        m.speedup_warm_over_cold
+    );
+    m
+}
+
 fn to_json(
     measurements: &[Measurement],
     allocs: &[AllocMeasurement],
     par: &[ParMeasurement],
     batch: &[BatchMeasurement],
+    dedup: &[DedupMeasurement],
 ) -> String {
     let items: Vec<String> = measurements
         .iter()
@@ -606,14 +744,50 @@ fn to_json(
             )
         })
         .collect();
+    // Subtree-cache dedup: warm (primed cache) vs cold (uncached).
+    let dedup_items: Vec<String> = dedup
+        .iter()
+        .map(|m| {
+            json::object(
+                &[
+                    json::field("sizes", json::quote(&m.sizes)),
+                    json::field("instances", format!("{}", m.instances)),
+                    json::field("unique_regions", format!("{}", m.unique_regions)),
+                    json::field("router", json::quote("AST-DME")),
+                    json::field("engine", json::quote("fast")),
+                    json::field("cold_seconds", json::number(m.cold_seconds)),
+                    json::field("warm_seconds", json::number(m.warm_seconds)),
+                    json::field(
+                        "cold_instances_per_sec",
+                        json::number(m.cold_instances_per_sec),
+                    ),
+                    json::field(
+                        "warm_instances_per_sec",
+                        json::number(m.warm_instances_per_sec),
+                    ),
+                    json::field(
+                        "speedup_warm_over_cold",
+                        json::number(m.speedup_warm_over_cold),
+                    ),
+                    json::field("cache_hit_rate", json::number(m.cache_hit_rate)),
+                    // Both asserted inside the measurement (the run aborts
+                    // on a mismatch or a sub-threshold speedup); recorded
+                    // so CI can grep the guarantee.
+                    json::field("wirelength_bit_equal", "true"),
+                ],
+                4,
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {},\n  \"allocs_per_merge\": {},\n  \"parallel_expansion\": {},\n  \"parallel_speedups\": {},\n  \"batch_throughput\": {}\n}}\n",
+        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {},\n  \"allocs_per_merge\": {},\n  \"parallel_expansion\": {},\n  \"parallel_speedups\": {},\n  \"batch_throughput\": {},\n  \"dedup\": {}\n}}\n",
         json::array(&items, 2),
         json::array(&summaries, 2),
         json::array(&alloc_items, 2),
         json::array(&par_items, 2),
         json::array(&par_summaries, 2),
-        json::array(&batch_items, 2)
+        json::array(&batch_items, 2),
+        json::array(&dedup_items, 2)
     )
 }
 
@@ -661,11 +835,17 @@ fn main() {
         measure_batch(sizes.iter().copied().min().expect("at least one size")),
         measure_batch_skewed(),
     ];
+    // Subtree-cache dedup at the smallest size: the warm-vs-cold contrast
+    // is about the cache layer, not per-instance cost.
+    let dedup_measurements = vec![measure_dedup(
+        sizes.iter().copied().min().expect("at least one size"),
+    )];
     let doc = to_json(
         &measurements,
         &alloc_measurements,
         &par_measurements,
         &batch_measurements,
+        &dedup_measurements,
     );
     std::fs::write(&out_path, &doc).expect("write BENCH_scaling.json");
     eprintln!("wrote {out_path}");
@@ -721,6 +901,19 @@ fn main() {
             m.speedup,
             m.workers,
             m.balance
+        );
+    }
+    println!();
+    println!("| dedup portfolio | cold inst/s | warm inst/s | speedup | hit rate |");
+    println!("|-----------------|-------------|-------------|---------|----------|");
+    for m in &dedup_measurements {
+        println!(
+            "| {} | {:.2} | {:.2} | {:.2} | {:.3} |",
+            m.sizes,
+            m.cold_instances_per_sec,
+            m.warm_instances_per_sec,
+            m.speedup_warm_over_cold,
+            m.cache_hit_rate
         );
     }
 }

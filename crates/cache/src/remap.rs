@@ -1,0 +1,178 @@
+//! Dense id remapping for subtree splicing.
+//!
+//! The miden-vm merger idiom: when a cached region's nodes land at new
+//! indices in a destination tree, every internal reference (here: parent
+//! indices) is rewritten through a dense old-index → new-index table
+//! built while copying.
+
+use astdme_engine::RoutedNode;
+use astdme_geom::Point;
+
+/// A dense old-index → new-index remap table.
+///
+/// Old indices are expected to be dense (0..n of a cached node vector), so
+/// the table is a plain vector — O(1) insert and lookup, no hashing.
+///
+/// ```
+/// use astdme_cache::DenseIdMap;
+///
+/// let mut map = DenseIdMap::with_capacity(3);
+/// map.insert(0, 10);
+/// map.insert(2, 12);
+/// assert_eq!(map.get(0), Some(10));
+/// assert_eq!(map.get(1), None);
+/// assert_eq!(map.get(2), Some(12));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DenseIdMap {
+    forward: Vec<Option<usize>>,
+}
+
+impl DenseIdMap {
+    /// An empty map expecting old indices below `capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            forward: vec![None; capacity],
+        }
+    }
+
+    /// Records `old → new`, growing the table as needed.
+    pub fn insert(&mut self, old: usize, new: usize) {
+        if old >= self.forward.len() {
+            self.forward.resize(old + 1, None);
+        }
+        self.forward[old] = Some(new);
+    }
+
+    /// The new index mapped for `old`, if recorded.
+    pub fn get(&self, old: usize) -> Option<usize> {
+        self.forward.get(old).copied().flatten()
+    }
+
+    /// Number of recorded mappings.
+    pub fn len(&self) -> usize {
+        self.forward.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Whether no mapping is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.forward.iter().all(|m| m.is_none())
+    }
+}
+
+/// Splices `region` (a cached node vector in its normalized frame) onto
+/// the end of `dst`, translating every position by `delta` and rewriting
+/// parent indices through a [`DenseIdMap`] built during the copy. The
+/// region's root (old index 0) is attached to `attach` (a node already in
+/// `dst`, or `None` to keep it a root). Returns the root's new index.
+///
+/// # Panics
+///
+/// Panics if a region node's parent index is not an earlier region index —
+/// cached vectors come from [`astdme_engine::RoutedTree::nodes`], whose
+/// constructor validated exactly that shape.
+pub fn splice_region(
+    dst: &mut Vec<RoutedNode>,
+    region: &[RoutedNode],
+    delta: Point,
+    attach: Option<usize>,
+) -> usize {
+    let offset = dst.len();
+    let mut remap = DenseIdMap::with_capacity(region.len());
+    for (old, node) in region.iter().enumerate() {
+        let parent = match node.parent {
+            Some(p) => Some(remap.get(p).expect("region parents precede children")),
+            None => attach,
+        };
+        let new = dst.len();
+        remap.insert(old, new);
+        dst.push(RoutedNode {
+            pos: Point::new(node.pos.x + delta.x, node.pos.y + delta.y),
+            parent,
+            wire: node.wire,
+            sink: node.sink,
+        });
+    }
+    offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Vec<RoutedNode> {
+        vec![
+            RoutedNode {
+                pos: Point::new(0.0, 0.0),
+                parent: None,
+                wire: 1.0,
+                sink: None,
+            },
+            RoutedNode {
+                pos: Point::new(2.0, 0.0),
+                parent: Some(0),
+                wire: 2.0,
+                sink: Some(0),
+            },
+            RoutedNode {
+                pos: Point::new(0.0, 3.0),
+                parent: Some(0),
+                wire: 3.0,
+                sink: Some(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn splice_at_zero_offset_is_identity_modulo_delta() {
+        let mut dst = Vec::new();
+        let root = splice_region(&mut dst, &region(), Point::new(10.0, 20.0), None);
+        assert_eq!(root, 0);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst[0].parent, None);
+        assert_eq!(dst[1].parent, Some(0));
+        assert_eq!(dst[0].pos, Point::new(10.0, 20.0));
+        assert_eq!(dst[2].pos, Point::new(10.0, 23.0));
+        assert_eq!(dst[2].wire, 3.0);
+    }
+
+    #[test]
+    fn splice_at_nonzero_offset_remaps_parents() {
+        // Destination already holds two nodes; the region lands at 2..5
+        // with its root attached under destination node 1.
+        let mut dst = vec![
+            RoutedNode {
+                pos: Point::new(0.0, 0.0),
+                parent: None,
+                wire: 0.0,
+                sink: None,
+            },
+            RoutedNode {
+                pos: Point::new(1.0, 0.0),
+                parent: Some(0),
+                wire: 1.0,
+                sink: None,
+            },
+        ];
+        let root = splice_region(&mut dst, &region(), Point::new(0.0, 0.0), Some(1));
+        assert_eq!(root, 2);
+        assert_eq!(dst.len(), 5);
+        assert_eq!(dst[2].parent, Some(1), "region root attaches to dst");
+        assert_eq!(dst[3].parent, Some(2), "old parent 0 remaps to new 2");
+        assert_eq!(dst[4].parent, Some(2));
+        assert_eq!(dst[3].sink, Some(0));
+    }
+
+    #[test]
+    fn dense_map_basics() {
+        let mut map = DenseIdMap::default();
+        assert!(map.is_empty());
+        map.insert(5, 1);
+        assert_eq!(map.get(5), Some(1));
+        assert_eq!(map.get(4), None);
+        assert_eq!(map.len(), 1);
+        map.insert(0, 7);
+        assert_eq!(map.len(), 2);
+        assert!(!map.is_empty());
+    }
+}

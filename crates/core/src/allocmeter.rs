@@ -1,0 +1,44 @@
+//! A process-wide allocation counter the pipeline samples per stage.
+//!
+//! The library crates forbid `unsafe`, so the `GlobalAlloc` shim itself
+//! lives in whichever *binary* wants allocation accounting (the scaling
+//! bench, the alloc-budget test harness). That shim calls [`on_alloc`]
+//! once per allocation; the pipeline snapshots [`current`] around each
+//! stage and reports the deltas in
+//! [`StageStats::allocs`](crate::StageStats). In a binary without an
+//! instrumented allocator the counter simply stays at zero and every
+//! reported delta is zero — the accounting is free to ignore.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocations observed process-wide since start.
+static COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Records one allocation. Called by an instrumented `GlobalAlloc` in the
+/// hosting binary; relaxed ordering — this is a statistics counter, not a
+/// synchronization point.
+#[inline]
+pub fn on_alloc() {
+    COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The current process-wide allocation count.
+#[inline]
+pub fn current() -> u64 {
+    COUNT.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic() {
+        let before = current();
+        on_alloc();
+        on_alloc();
+        // Other test threads may bump it concurrently; only monotonicity
+        // and our own two increments are guaranteed.
+        assert!(current() >= before + 2);
+    }
+}

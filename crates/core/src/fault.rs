@@ -32,6 +32,8 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use astdme_cache::SubtreeCache;
+
 use crate::pipeline::StageId;
 use crate::RouteError;
 
@@ -132,6 +134,9 @@ struct RouteCtx {
     deadline_seconds: Option<f64>,
     /// The fault injected into this instance, if any.
     fault: Option<Fault>,
+    /// The batch's shared subtree cache, if the policy attached one; the
+    /// pipeline picks it up via [`current_cache`].
+    cache: Option<SubtreeCache>,
 }
 
 thread_local! {
@@ -163,6 +168,7 @@ pub(crate) fn install(
     instance: usize,
     deadline_seconds: Option<f64>,
     fault: Option<Fault>,
+    cache: Option<SubtreeCache>,
 ) -> CtxGuard {
     CTX.with(|c| {
         *c.borrow_mut() = Some(RouteCtx {
@@ -170,6 +176,7 @@ pub(crate) fn install(
             started: Instant::now(),
             deadline_seconds,
             fault,
+            cache,
         });
     });
     CtxGuard
@@ -235,6 +242,12 @@ pub(crate) fn current_instance() -> Option<usize> {
     CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.instance))
 }
 
+/// The shared subtree cache of the batch currently routing on this
+/// thread, if the batch policy attached one. A cheap `Arc` clone.
+pub(crate) fn current_cache() -> Option<SubtreeCache> {
+    CTX.with(|c| c.borrow().as_ref().and_then(|ctx| ctx.cache.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +295,7 @@ mod tests {
                     stage: StageId::Group,
                     kind: FaultKind::Panic,
                 }),
+                None,
             );
             assert_eq!(current_instance(), Some(9));
             checkpoint(StageId::Group).unwrap();
@@ -299,6 +313,7 @@ mod tests {
                 stage: StageId::Embed,
                 kind: FaultKind::Stall { seconds: 0.02 },
             }),
+            None,
         );
         // A checkpoint at a different stage passes (no stall, within
         // budget so far).
@@ -329,6 +344,7 @@ mod tests {
                 stage: StageId::Repair,
                 kind: FaultKind::Corrupt,
             }),
+            None,
         );
         assert_eq!(checkpoint(StageId::Repair), Ok(()));
         assert!(corrupt_requested(StageId::Repair));

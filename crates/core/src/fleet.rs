@@ -42,9 +42,9 @@
 //! router and surfaces it as [`RouteError::Panicked`] for that instance
 //! only, instead of letting the unwind kill the whole batch.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use astdme_cache::{BoundedLru, SubtreeCache};
 use astdme_engine::Instance;
 
 use crate::fault::FaultPlan;
@@ -69,21 +69,60 @@ const MIN_BATCH_FANOUT: usize = 2;
 /// uncalibrated model is perfectly usable — observations just sharpen the
 /// largest-first ordering when a portfolio mixes repeat shapes (as bench
 /// sweeps and production re-routes do).
-#[derive(Debug, Clone, Default)]
+///
+/// The exact-shape refinement map is **bounded**: a long-lived model fed a
+/// stream of distinct shapes (a service re-planning many portfolios) keeps
+/// only the [`COST_MODEL_SHAPES`] most recently used shapes, evicting
+/// deterministically via [`BoundedLru`]. The global calibration sums are
+/// unbounded scalars and keep every observation's weight regardless of
+/// eviction, so an evicted shape degrades gracefully to a calibrated
+/// static estimate rather than an uncalibrated one.
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// Observed `(total seconds, runs)` per instance shape, keyed by
-    /// `(sink count, group count)`.
-    observed: HashMap<(usize, usize), (f64, u32)>,
+    /// `(sink count, group count)`; bounded and LRU-evicted.
+    observed: BoundedLru<(usize, usize), (f64, u32)>,
     /// Sum of [`CostModel::static_cost`] over all observations.
     observed_static: f64,
     /// Sum of observed seconds over all observations.
     observed_seconds: f64,
 }
 
+/// Default bound on the distinct instance shapes a [`CostModel`] keeps
+/// exact observations for; least-recently-used shapes beyond it fall back
+/// to the calibrated static estimate.
+pub const COST_MODEL_SHAPES: usize = 512;
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::with_shape_capacity(COST_MODEL_SHAPES)
+    }
+}
+
 impl CostModel {
     /// A model with no observations: estimates are purely a-priori.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A model whose exact-shape map holds at most `shapes` entries
+    /// (clamped to ≥ 1); eviction is deterministic LRU.
+    pub fn with_shape_capacity(shapes: usize) -> Self {
+        Self {
+            observed: BoundedLru::new(shapes),
+            observed_static: 0.0,
+            observed_seconds: 0.0,
+        }
+    }
+
+    /// Maximum number of distinct shapes the exact-observation map holds.
+    pub fn shape_capacity(&self) -> usize {
+        self.observed.capacity()
+    }
+
+    /// Number of distinct shapes currently holding exact observations.
+    pub fn shapes_observed(&self) -> usize {
+        self.observed.len()
     }
 
     /// The a-priori cost of routing `inst`: sink count times a log factor
@@ -105,12 +144,13 @@ impl CostModel {
         if !secs.is_finite() || secs < 0.0 {
             return;
         }
-        let entry = self
-            .observed
-            .entry((inst.sink_count(), inst.groups().group_count()))
-            .or_insert((0.0, 0));
-        entry.0 += secs;
-        entry.1 += 1;
+        let shape = (inst.sink_count(), inst.groups().group_count());
+        if let Some(entry) = self.observed.get_mut(&shape) {
+            entry.0 += secs;
+            entry.1 += 1;
+        } else {
+            self.observed.insert(shape, (secs, 1));
+        }
         self.observed_static += Self::static_cost(inst);
         self.observed_seconds += secs;
     }
@@ -118,11 +158,12 @@ impl CostModel {
     /// Estimated cost of routing `inst`: the mean observed seconds for its
     /// exact shape when available, otherwise [`CostModel::static_cost`]
     /// scaled by the global seconds-per-static-unit calibration (1.0 when
-    /// nothing has been observed yet).
+    /// nothing has been observed yet). Reads without touching LRU recency
+    /// — estimating a batch never perturbs which shapes get evicted.
     pub fn estimate(&self, inst: &Instance) -> f64 {
         if let Some(&(total, runs)) = self
             .observed
-            .get(&(inst.sink_count(), inst.groups().group_count()))
+            .peek(&(inst.sink_count(), inst.groups().group_count()))
         {
             return total / f64::from(runs);
         }
@@ -157,10 +198,27 @@ pub struct BatchPolicy {
     /// fault lookup — a chunked sweep sets this to the chunk's base so
     /// errors carry sweep-global variant indices.
     pub index_offset: usize,
+    /// Shared content-addressed subtree cache consulted by every route in
+    /// the batch ([`SubtreeCache`] is a cheap `Arc` handle). Repeated
+    /// merge regions across the batch — duplicate placements, translated
+    /// copies, re-planned portfolios — route once and splice thereafter.
+    ///
+    /// A hit is **bit-identical to the recompute** the miss path would
+    /// perform: cached outcomes are a pure function of the instance and
+    /// plan, never of cache state, capacity, sharing, eviction order, or
+    /// thread count. (The cached pipeline routes in the
+    /// translation-normalized frame — see
+    /// [`crate::pipeline::run_with_cache`] — so its outcomes coincide with
+    /// the cache-*free* path exactly when the instance's bounding-box
+    /// minimum corner is already the origin; otherwise last-ulp merge
+    /// coordinates may differ between the two modes, both independently
+    /// audited.) `None` (the default) routes every instance on the
+    /// historic uncached path.
+    pub cache: Option<SubtreeCache>,
 }
 
 impl BatchPolicy {
-    /// The default policy: no deadline, no faults, zero offset.
+    /// The default policy: no deadline, no faults, zero offset, no cache.
     pub fn new() -> Self {
         Self::default()
     }
@@ -174,6 +232,13 @@ impl BatchPolicy {
     /// Sets the fault schedule; returns `self` for chaining.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches a shared subtree cache (a cheap `Arc` clone of the handle);
+    /// returns `self` for chaining.
+    pub fn with_cache(mut self, cache: SubtreeCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -300,7 +365,12 @@ where
     R: ClockRouter + ?Sized,
 {
     catch_unwind(AssertUnwindSafe(|| {
-        let _ctx = crate::fault::install(index, policy.deadline_seconds, policy.faults.get(index));
+        let _ctx = crate::fault::install(
+            index,
+            policy.deadline_seconds,
+            policy.faults.get(index),
+            policy.cache.clone(),
+        );
         router.route_traced(inst)
     }))
     .unwrap_or_else(|payload| {
@@ -340,6 +410,33 @@ where
     R: ClockRouter + Sync + ?Sized,
 {
     BatchPlan::new(instances).route(instances, router)
+}
+
+/// Like [`route_batch`], with a shared content-addressed subtree cache:
+/// repeated merge regions across the batch (duplicate or translated
+/// placements under the same plan) route once and splice thereafter.
+///
+/// Every outcome is a pure function of its instance and the router's
+/// plan: a hit is **bit-identical to the recompute** a miss performs, at
+/// every thread count and under every cache capacity, sharing pattern,
+/// and eviction order — cache state can change wall-clock and the
+/// per-outcome [`RouteStats::cache_hit`] flag, never a tree. See
+/// [`BatchPolicy::cache`] for how cached outcomes relate to the
+/// cache-free path. Pass the same handle across successive batches (or a
+/// [`crate::robustness`] sweep) to carry the memo between them;
+/// [`SubtreeCache::stats`] reports the accumulated hit rate.
+pub fn route_batch_cached<R>(
+    instances: &[Instance],
+    router: &R,
+    cache: &SubtreeCache,
+) -> Vec<Result<RouteOutcome, RouteError>>
+where
+    R: ClockRouter + Sync + ?Sized,
+{
+    let policy = BatchPolicy::new().with_cache(cache.clone());
+    BatchPlan::new(instances)
+        .route_with_policy(instances, router, &policy)
+        .0
 }
 
 #[cfg(test)]
@@ -459,6 +556,83 @@ mod tests {
         model.observe(&a, &stats_with_merge_seconds(1.0));
         model.observe(&a, &stats_with_merge_seconds(3.0));
         assert!((model.estimate(&a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_map_is_bounded_with_deterministic_eviction() {
+        // Capacity 2: observing a third distinct shape must evict the
+        // least recently *observed* shape — estimate() peeks and never
+        // perturbs recency.
+        let a = inst(10, 0.0);
+        let b = inst(20, 0.0);
+        let c = inst(30, 0.0);
+        let mut model = CostModel::with_shape_capacity(2);
+        assert_eq!(model.shape_capacity(), 2);
+        model.observe(&a, &stats_with_merge_seconds(5.0));
+        model.observe(&b, &stats_with_merge_seconds(0.25));
+        assert_eq!(model.shapes_observed(), 2);
+        // Reading estimates (even many times) must not save shape `a`.
+        for _ in 0..8 {
+            let _ = model.estimate(&a);
+        }
+        model.observe(&c, &stats_with_merge_seconds(1.0));
+        assert_eq!(model.shapes_observed(), 2, "map stays bounded");
+        // Evicted `a` falls back to the *calibrated* static estimate: the
+        // exact 5.0s observation is gone, but the global calibration
+        // still carries its weight.
+        let scale = (5.0 + 0.25 + 1.0)
+            / (CostModel::static_cost(&a)
+                + CostModel::static_cost(&b)
+                + CostModel::static_cost(&c));
+        assert!((model.estimate(&a) - CostModel::static_cost(&a) * scale).abs() < 1e-12);
+        // Survivors keep their exact observations.
+        assert!((model.estimate(&b) - 0.25).abs() < 1e-12);
+        assert!((model.estimate(&c) - 1.0).abs() < 1e-12);
+        // Deterministic: the same observation sequence evicts the same
+        // shape, every run.
+        let rebuild = || {
+            let mut m = CostModel::with_shape_capacity(2);
+            m.observe(&a, &stats_with_merge_seconds(5.0));
+            m.observe(&b, &stats_with_merge_seconds(0.25));
+            m.observe(&c, &stats_with_merge_seconds(1.0));
+            (m.estimate(&a), m.estimate(&b), m.estimate(&c))
+        };
+        assert_eq!(rebuild(), rebuild());
+    }
+
+    #[test]
+    fn cached_batch_is_bit_identical_and_hits_on_duplicates() {
+        use astdme_cache::SubtreeCache;
+        // Three copies of one placement plus a distinct one, all anchored
+        // at the origin (sink 0 sits at (0, 0), so translation
+        // normalization is the exact identity): the duplicate region
+        // routes once, splices twice, and every tree matches the
+        // cache-free batch bit for bit.
+        let instances = vec![inst(12, 0.0), inst(12, 0.0), inst(9, 0.0), inst(12, 0.0)];
+        let router = AstDme::new();
+        let cold = route_batch(&instances, &router);
+        let cache = SubtreeCache::new(64);
+        let warm = route_batch_cached(&instances, &router, &cache);
+        for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+            let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+            assert_eq!(c.tree, w.tree, "instance {i} tree diverged under cache");
+            assert_eq!(c.report, w.report, "instance {i} report diverged");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+        // Concurrent duplicates may race their first lookups, but after a
+        // full pass both distinct regions are resident: a second pass must
+        // hit on every instance — and still match bit for bit.
+        let rewarm = route_batch_cached(&instances, &router, &cache);
+        for (i, (c, w)) in cold.iter().zip(&rewarm).enumerate() {
+            assert_eq!(
+                c.as_ref().unwrap().tree,
+                w.as_ref().unwrap().tree,
+                "instance {i} tree diverged on the warm pass"
+            );
+            assert!(w.as_ref().unwrap().stats.cache_hit, "instance {i} must hit");
+        }
+        assert_eq!(cache.stats().hits, stats.hits + 4);
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! All four implement [`ClockRouter`]; results are
 //! [`RoutedTree`]s that can be audited independently with [`audit`].
 //!
+//! Fleet workloads (batches, Monte Carlo sweeps) can attach a
+//! content-addressed [`SubtreeCache`]: repeated merge regions —
+//! duplicate or translated placements under the same stage plan — are
+//! fingerprinted, memoized, and spliced instead of re-routed, with hits
+//! **bit-identical** to a recompute (see [`astdme_cache`] and
+//! [`fleet::route_batch_cached`]).
+//!
 //! # Example
 //!
 //! ```
@@ -45,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocmeter;
 mod drivers;
 mod error;
 pub mod fault;
@@ -59,9 +67,13 @@ pub use drivers::{
 };
 pub use error::RouteError;
 pub use fault::{Fault, FaultKind, FaultPlan};
-pub use fleet::{route_batch, BatchPlan, BatchPolicy, CostModel, StealStats};
+pub use fleet::{
+    route_batch, route_batch_cached, BatchPlan, BatchPolicy, CostModel, StealStats,
+    COST_MODEL_SHAPES,
+};
 pub use pipeline::{
-    GroupingStage, MergeStage, RouteOutcome, RouteStats, StageId, StagePlan, StageStats,
+    run_with_cache, GroupingStage, MergeStage, RouteOutcome, RouteStats, StageId, StagePlan,
+    StageStats,
 };
 pub use robustness::{
     sweep, MetricSummary, PerturbationSpec, RobustnessReport, SweepConfig, VariantFailure,
@@ -69,6 +81,10 @@ pub use robustness::{
 pub use routers::{AstDme, ClockRouter, ExtBst, GreedyDme, StitchPerGroup};
 
 // The full modelling vocabulary, so downstream users need only this crate.
+pub use astdme_cache::{
+    region_fingerprint, splice_region, BoundedLru, CacheStats, CachedRegion, DenseIdMap,
+    Fingerprint, SubtreeCache,
+};
 pub use astdme_delay::{DelayModel, RcParams};
 pub use astdme_engine::{
     audit, group_ranges, repair_group_skew, AuditReport, CandKind, Candidate, DelayMap, DelayRange,

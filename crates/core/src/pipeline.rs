@@ -23,17 +23,20 @@
 //! hand-timing routers from the outside.
 
 use core::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
+use astdme_cache::{region_fingerprint, CachedRegion, SubtreeCache};
 use astdme_delay::DelayModel;
 use astdme_engine::{
     audit, repair_group_skew, AuditReport, EngineConfig, GroupId, Groups, Instance, MergeForest,
-    RoutedTree,
+    NodeId, RoutedTree,
 };
+use astdme_geom::Point;
 use astdme_topo::TopoConfig;
 
 use crate::drivers::{merge_until_one_traced, MergeTrace};
-use crate::{fault, RouteError};
+use crate::{allocmeter, fault, RouteError};
 
 /// Iteration budget for the post-embedding skew repair pass.
 const REPAIR_ITERS: usize = 80;
@@ -93,6 +96,10 @@ pub struct StageStats {
     /// Iterations of the skew-repair loop (repair stage only; zero when
     /// the stage was a no-op).
     pub repair_iterations: usize,
+    /// Heap allocations observed during the stage, via
+    /// [`crate::allocmeter`]. Zero unless the hosting binary installs an
+    /// instrumented allocator (the scaling bench does).
+    pub allocs: u64,
 }
 
 /// Per-stage statistics of one routing run.
@@ -109,6 +116,12 @@ pub struct RouteStats {
     pub repair: StageStats,
     /// Stage 5: the independent audit.
     pub audit: StageStats,
+    /// Whether the merge/embed/repair work was satisfied from the
+    /// content-addressed subtree cache instead of recomputed. Always
+    /// `false` when no cache is attached. The outcome is bit-identical
+    /// either way — this flag (and the stage seconds) are the only
+    /// difference.
+    pub cache_hit: bool,
 }
 
 impl RouteStats {
@@ -122,6 +135,16 @@ impl RouteStats {
     /// Wall-clock of the whole pipeline including the audit stage.
     pub fn total_seconds(&self) -> f64 {
         self.route_seconds() + self.audit.seconds
+    }
+
+    /// Heap allocations across all five stages (see
+    /// [`StageStats::allocs`]).
+    pub fn total_allocs(&self) -> u64 {
+        self.group.allocs
+            + self.merge.allocs
+            + self.embed.allocs
+            + self.repair.allocs
+            + self.audit.allocs
     }
 }
 
@@ -180,72 +203,144 @@ pub struct StagePlan {
     pub merge: MergeStage,
 }
 
+impl StagePlan {
+    /// Stable `u64` encoding of every routing-relevant knob of the plan,
+    /// for content-addressed cache fingerprints: the delay-model override
+    /// (tagged; `None` = Elmore over the instance's own RC, which the
+    /// instance fingerprint already covers), the engine words (excluding
+    /// the diagnostics-only `debug` flag), the merge-order words, and the
+    /// grouping/merge-stage discriminants with the grouping bound bits.
+    /// Two plans route any instance identically iff their words agree.
+    pub fn fingerprint_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(16);
+        match self.model {
+            None => words.push(0),
+            Some(model) => {
+                words.push(1);
+                words.extend(model.fingerprint_words());
+            }
+        }
+        words.extend(self.engine.fingerprint_words());
+        words.extend(self.topo.fingerprint_words());
+        match self.grouping {
+            GroupingStage::Keep => words.push(0),
+            GroupingStage::Single { bound: None } => words.push(1),
+            GroupingStage::Single { bound: Some(b) } => {
+                words.push(2);
+                words.push(b.to_bits());
+            }
+        }
+        words.push(match self.merge {
+            MergeStage::Flat => 0,
+            MergeStage::PerGroupThenStitch => 1,
+        });
+        words
+    }
+}
+
 /// Executes the staged pipeline over `inst`.
 ///
 /// Produces exactly the tree the pre-pipeline bespoke router bodies
 /// produced (the stages are the same operations in the same order); the
 /// outcome additionally carries the audit and the per-stage stats.
 ///
+/// When the fleet layer attached a [`SubtreeCache`] to the current route
+/// context (via [`crate::fleet::BatchPolicy::with_cache`]), the run
+/// dispatches to [`run_with_cache`]; otherwise the historic uncached path
+/// runs unchanged.
+///
 /// # Errors
 ///
 /// Returns [`RouteError`] if a derived re-grouping is invalid.
 pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError> {
-    let mut stats = RouteStats::default();
+    match fault::current_cache() {
+        Some(cache) => run_with_cache(inst, plan, &cache),
+        None => run_uncached(inst, plan),
+    }
+}
 
-    // Stage 1: group.
-    let t0 = Instant::now();
-    let regrouped = match plan.grouping {
-        GroupingStage::Keep => None,
+/// Derives the stage-1 regrouping of `inst` under the plan, or `None`
+/// when the instance's own groups are kept.
+fn derive_grouping(inst: &Instance, plan: &StagePlan) -> Result<Option<Instance>, RouteError> {
+    match plan.grouping {
+        GroupingStage::Keep => Ok(None),
         GroupingStage::Single { bound } => {
             let mut groups = Groups::single(inst.sink_count())?;
             if let Some(b) = bound {
                 groups = groups.with_uniform_bound(b)?;
             }
-            Some(inst.with_groups(groups)?)
+            Ok(Some(inst.with_groups(groups)?))
         }
-    };
-    let routed_against = regrouped.as_ref().unwrap_or(inst);
-    let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-    stats.group.seconds = t0.elapsed().as_secs_f64();
-    fault::checkpoint(StageId::Group)?;
+    }
+}
 
-    // Stage 2: plan/merge.
-    let t0 = Instant::now();
-    let mut forest = MergeForest::for_instance_with_model(routed_against, model, plan.engine);
+/// Stage 2 proper: the bottom-up merge loop over `routed_against`'s
+/// forest. `group_source` supplies the *original* group structure the
+/// [`MergeStage::PerGroupThenStitch`] script iterates (the regrouped
+/// surrogate has collapsed it).
+fn merge_stage(
+    forest: &mut MergeForest,
+    group_source: &Instance,
+    plan: &StagePlan,
+) -> (NodeId, MergeTrace) {
     let leaves = forest.leaves();
-    let (root, trace) = match plan.merge {
-        MergeStage::Flat => merge_until_one_traced(&mut forest, leaves, &plan.topo),
+    match plan.merge {
+        MergeStage::Flat => merge_until_one_traced(forest, leaves, &plan.topo),
         MergeStage::PerGroupThenStitch => {
             let mut trace = MergeTrace::default();
-            let mut group_roots = Vec::with_capacity(inst.groups().group_count());
-            for g in 0..inst.groups().group_count() {
-                let members: Vec<_> = inst
+            let mut group_roots = Vec::with_capacity(group_source.groups().group_count());
+            for g in 0..group_source.groups().group_count() {
+                let members: Vec<_> = group_source
                     .groups()
                     .members(GroupId(g as u32))
                     .iter()
                     .map(|&s| leaves[s])
                     .collect();
-                let (root, t) = merge_until_one_traced(&mut forest, members, &plan.topo);
+                let (root, t) = merge_until_one_traced(forest, members, &plan.topo);
                 trace.absorb(t);
                 group_roots.push(root);
             }
-            let (root, t) = merge_until_one_traced(&mut forest, group_roots, &plan.topo);
+            let (root, t) = merge_until_one_traced(forest, group_roots, &plan.topo);
             trace.absorb(t);
             (root, trace)
         }
-    };
+    }
+}
+
+/// The historic cache-free pipeline body.
+fn run_uncached(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError> {
+    let mut stats = RouteStats::default();
+
+    // Stage 1: group.
+    let t0 = Instant::now();
+    let a0 = allocmeter::current();
+    let regrouped = derive_grouping(inst, plan)?;
+    let routed_against = regrouped.as_ref().unwrap_or(inst);
+    let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
+    stats.group.seconds = t0.elapsed().as_secs_f64();
+    stats.group.allocs = allocmeter::current().saturating_sub(a0);
+    fault::checkpoint(StageId::Group)?;
+
+    // Stage 2: plan/merge.
+    let t0 = Instant::now();
+    let a0 = allocmeter::current();
+    let mut forest = MergeForest::for_instance_with_model(routed_against, model, plan.engine);
+    let (root, trace) = merge_stage(&mut forest, inst, plan);
     stats.merge = StageStats {
         seconds: t0.elapsed().as_secs_f64(),
         rounds: trace.rounds,
         merges: trace.merges,
         repair_iterations: 0,
+        allocs: allocmeter::current().saturating_sub(a0),
     };
     fault::checkpoint(StageId::Merge)?;
 
     // Stage 3: embed.
     let t0 = Instant::now();
+    let a0 = allocmeter::current();
     let tree = forest.embed(root, routed_against.source());
     stats.embed.seconds = t0.elapsed().as_secs_f64();
+    stats.embed.allocs = allocmeter::current().saturating_sub(a0);
     let tree = corrupt_if_requested(tree, StageId::Embed);
     fault::checkpoint(StageId::Embed)?;
 
@@ -253,6 +348,7 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
     // conflict left residual skew (see [`repair_group_skew`]); on cleanly
     // solved instances it is skipped outright.
     let t0 = Instant::now();
+    let a0 = allocmeter::current();
     let tree = if forest.residual() <= plan.engine.skew_tol {
         tree
     } else {
@@ -267,6 +363,7 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
         repaired.tree
     };
     stats.repair.seconds = t0.elapsed().as_secs_f64();
+    stats.repair.allocs = allocmeter::current().saturating_sub(a0);
     let tree = corrupt_if_requested(tree, StageId::Repair);
     fault::checkpoint(StageId::Repair)?;
 
@@ -281,8 +378,230 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
     // per-group skews refer to the groups the caller asked about, not a
     // relaxed routing surrogate.
     let t0 = Instant::now();
+    let a0 = allocmeter::current();
     let report = audit(&tree, inst, &model);
     stats.audit.seconds = t0.elapsed().as_secs_f64();
+    stats.audit.allocs = allocmeter::current().saturating_sub(a0);
+    fault::checkpoint(StageId::Audit)?;
+
+    Ok(RouteOutcome {
+        tree,
+        report,
+        stats,
+    })
+}
+
+/// The region produced by the merge/embed/repair stages of the cached
+/// pipeline: shared from the cache on a hit, freshly routed on a miss.
+enum Planned {
+    Hit(Arc<CachedRegion>),
+    Fresh(CachedRegion),
+}
+
+impl Planned {
+    fn region(&self) -> &CachedRegion {
+        match self {
+            Self::Hit(r) => r,
+            Self::Fresh(r) => r,
+        }
+    }
+}
+
+/// Executes the staged pipeline over `inst` with a content-addressed
+/// subtree cache consulted between the group and merge stages.
+///
+/// The instance is **translation-normalized** first (the bounding-box
+/// minimum corner becomes the origin) and stages 2–4 route the normalized
+/// instance; both on a cache hit and on a miss, the final tree is then
+/// assembled by the *same* [`CachedRegion::splice`] call — translate the
+/// normalized nodes back by the anchor, root at the caller's source — so
+/// **a hit is bit-identical to a recompute**: tree, audit report, and
+/// wirelength, at every thread count and under every eviction order —
+/// outcomes are a pure function of the instance and plan, never of cache
+/// state. The audit always runs fresh against the original instance; only
+/// planned geometry is ever cached, never verdicts about it.
+///
+/// Relative to the cache-*free* [`run`]: for an instance whose
+/// bounding-box minimum corner is already the origin, normalization is
+/// the exact identity (`a - a = +0.0`) and the cached outcome equals the
+/// uncached one. For other instances the normalized frame can shift
+/// last-ulp merge coordinates (floating-point addition is not translation
+/// invariant), so the two *modes* may differ in final bits — each mode is
+/// internally exact, and both are independently audited.
+///
+/// Fault-injection semantics are preserved: checkpoints fire in the same
+/// stage order as the uncached path on both hit and miss, and a
+/// [`fault::FaultKind::Corrupt`] injection poisons the final tree so
+/// validation rejects it *before* the cache insert — corrupted output can
+/// never be memoized.
+///
+/// An instance whose normalization fails (coordinates so large the
+/// translation overflows) silently falls back to the uncached path.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] if a derived re-grouping is invalid.
+pub fn run_with_cache(
+    inst: &Instance,
+    plan: &StagePlan,
+    cache: &SubtreeCache,
+) -> Result<RouteOutcome, RouteError> {
+    let mut stats = RouteStats::default();
+
+    // Stage 1: group + canonicalize. The anchor is the bounding-box
+    // minimum corner; subtracting a coordinate from itself is exactly
+    // +0.0, so an instance already anchored at the origin normalizes to
+    // itself bit for bit.
+    let t0 = Instant::now();
+    let a0 = allocmeter::current();
+    let bb = inst.bounding_box();
+    let (ax, ay) = (bb.x0(), bb.y0());
+    let Ok(norm) = inst.translated(-ax, -ay) else {
+        return run_uncached(inst, plan);
+    };
+    let (key, verify) = region_fingerprint(&norm, &plan.fingerprint_words());
+    let regrouped = derive_grouping(&norm, plan)?;
+    let routed_against = regrouped.as_ref().unwrap_or(&norm);
+    let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
+    stats.group.seconds = t0.elapsed().as_secs_f64();
+    stats.group.allocs = allocmeter::current().saturating_sub(a0);
+    fault::checkpoint(StageId::Group)?;
+
+    // Stage 2: plan/merge — satisfied by a verified cache hit, or routed
+    // fresh on the normalized instance.
+    let t0 = Instant::now();
+    let a0 = allocmeter::current();
+    enum MergePhase {
+        Hit(Arc<CachedRegion>),
+        Miss {
+            forest: Box<MergeForest>,
+            root: NodeId,
+            trace: MergeTrace,
+        },
+    }
+    let merged = match cache.lookup(key, verify, norm.sink_count()) {
+        Some(region) => {
+            stats.cache_hit = true;
+            stats.merge.rounds = region.rounds;
+            stats.merge.merges = region.merges;
+            MergePhase::Hit(region)
+        }
+        None => {
+            let mut forest = Box::new(MergeForest::for_instance_with_model(
+                routed_against,
+                model,
+                plan.engine,
+            ));
+            let (root, trace) = merge_stage(&mut forest, &norm, plan);
+            stats.merge.rounds = trace.rounds;
+            stats.merge.merges = trace.merges;
+            MergePhase::Miss {
+                forest,
+                root,
+                trace,
+            }
+        }
+    };
+    stats.merge.seconds = t0.elapsed().as_secs_f64();
+    stats.merge.allocs = allocmeter::current().saturating_sub(a0);
+    fault::checkpoint(StageId::Merge)?;
+
+    // Stage 3: embed (a hit has nothing left to embed — the cached nodes
+    // *are* the embedded subtree). Corruption injected at this stage or
+    // the next poisons the final spliced tree below, exactly like the
+    // uncached path's output.
+    let t0 = Instant::now();
+    let a0 = allocmeter::current();
+    enum EmbedPhase {
+        Hit(Arc<CachedRegion>),
+        Miss {
+            forest: Box<MergeForest>,
+            trace: MergeTrace,
+            tree: RoutedTree,
+        },
+    }
+    let embedded = match merged {
+        MergePhase::Hit(region) => EmbedPhase::Hit(region),
+        MergePhase::Miss {
+            forest,
+            root,
+            trace,
+        } => {
+            let tree = forest.embed(root, routed_against.source());
+            EmbedPhase::Miss {
+                forest,
+                trace,
+                tree,
+            }
+        }
+    };
+    stats.embed.seconds = t0.elapsed().as_secs_f64();
+    stats.embed.allocs = allocmeter::current().saturating_sub(a0);
+    let mut corrupt = fault::corrupt_requested(StageId::Embed);
+    fault::checkpoint(StageId::Embed)?;
+
+    // Stage 4: repair, then capture the normalized region.
+    let t0 = Instant::now();
+    let a0 = allocmeter::current();
+    let planned = match embedded {
+        EmbedPhase::Hit(region) => {
+            stats.repair.repair_iterations = region.repair_iterations;
+            Planned::Hit(region)
+        }
+        EmbedPhase::Miss {
+            forest,
+            trace,
+            tree,
+        } => {
+            let tree = if forest.residual() <= plan.engine.skew_tol {
+                tree
+            } else {
+                let repaired = repair_group_skew(
+                    &tree,
+                    routed_against,
+                    &model,
+                    plan.engine.skew_tol,
+                    REPAIR_ITERS,
+                );
+                stats.repair.repair_iterations = repaired.iterations;
+                repaired.tree
+            };
+            Planned::Fresh(CachedRegion {
+                verify,
+                sink_count: norm.sink_count(),
+                nodes: tree.nodes().to_vec(),
+                rounds: trace.rounds,
+                merges: trace.merges,
+                repair_iterations: stats.repair.repair_iterations,
+            })
+        }
+    };
+    stats.repair.seconds = t0.elapsed().as_secs_f64();
+    stats.repair.allocs = allocmeter::current().saturating_sub(a0);
+    corrupt = corrupt || fault::corrupt_requested(StageId::Repair);
+    fault::checkpoint(StageId::Repair)?;
+
+    // Final assembly: ONE splice call shared by hit and miss — identical
+    // arithmetic is what makes hit ≡ recompute bit-exact. The source comes
+    // from the original instance verbatim (never round-tripped through the
+    // translation).
+    let tree = planned.region().splice(Point::new(ax, ay), inst.source());
+    let tree = if corrupt { corrupt_tree(tree) } else { tree };
+
+    // Validation precedes the insert: corrupted (or otherwise malformed)
+    // output returns here and is never memoized.
+    validate_tree(&tree, inst)?;
+    if let Planned::Fresh(region) = planned {
+        cache.insert(key, region);
+    }
+
+    // Stage 5: audit — always fresh, always against the original
+    // instance. Cache hits reuse geometry, never verdicts.
+    let t0 = Instant::now();
+    let a0 = allocmeter::current();
+    let report = audit(&tree, inst, &model);
+    stats.audit.seconds = t0.elapsed().as_secs_f64();
+    stats.audit.allocs = allocmeter::current().saturating_sub(a0);
     fault::checkpoint(StageId::Audit)?;
 
     Ok(RouteOutcome {
@@ -298,6 +617,12 @@ fn corrupt_if_requested(tree: RoutedTree, stage: StageId) -> RoutedTree {
     if !fault::corrupt_requested(stage) {
         return tree;
     }
+    corrupt_tree(tree)
+}
+
+/// The corruption a [`fault::FaultKind::Corrupt`] fault injects: the root
+/// wire becomes NaN, which output validation rejects.
+fn corrupt_tree(tree: RoutedTree) -> RoutedTree {
     let mut nodes = tree.nodes().to_vec();
     if let Some(node) = nodes.first_mut() {
         node.wire = f64::NAN;

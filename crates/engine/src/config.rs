@@ -57,6 +57,22 @@ impl EngineConfig {
         }
     }
 
+    /// Stable `u64` encoding of the routing-relevant knobs for
+    /// content-addressed cache fingerprints. `debug` is deliberately
+    /// excluded: it only gates stderr diagnostics and never changes a
+    /// routed bit, so configs differing in `debug` alone must share a
+    /// fingerprint.
+    #[inline]
+    pub fn fingerprint_words(&self) -> [u64; 5] {
+        [
+            self.split_samples as u64,
+            self.max_candidates as u64,
+            self.pair_limit as u64,
+            self.skew_tol.to_bits(),
+            self.fuse_groups as u64,
+        ]
+    }
+
     /// A thorough configuration: more positional diversity, slower.
     pub fn thorough() -> Self {
         Self {
@@ -96,6 +112,38 @@ mod tests {
         assert!(d.split_samples <= t.split_samples);
         assert!(f.max_candidates <= d.max_candidates);
         assert!(d.max_candidates <= t.max_candidates);
+    }
+
+    #[test]
+    fn fingerprint_words_ignore_debug_but_track_knobs() {
+        let base = EngineConfig::default();
+        let loud = EngineConfig {
+            debug: true,
+            ..base
+        };
+        let quiet = EngineConfig {
+            debug: false,
+            ..base
+        };
+        assert_eq!(
+            loud.fingerprint_words(),
+            quiet.fingerprint_words(),
+            "debug is diagnostics-only"
+        );
+        assert_ne!(
+            base.fingerprint_words(),
+            EngineConfig::fast().fingerprint_words()
+        );
+        let loose = EngineConfig {
+            skew_tol: 1e-15,
+            ..base
+        };
+        assert_ne!(base.fingerprint_words(), loose.fingerprint_words());
+        let unfused = EngineConfig {
+            fuse_groups: false,
+            ..base
+        };
+        assert_ne!(base.fingerprint_words(), unfused.fingerprint_words());
     }
 
     #[test]

@@ -78,6 +78,20 @@ impl TopoConfig {
             delay_weight: 0.0,
         }
     }
+
+    /// Stable `u64` encoding of the planner configuration for
+    /// content-addressed cache fingerprints: an order tag, the multi-merge
+    /// fraction bits (`f64::to_bits`; zero for greedy), and the
+    /// delay-weight bits. Two configs plan identically iff their words
+    /// agree.
+    #[inline]
+    pub fn fingerprint_words(&self) -> [u64; 3] {
+        let (tag, fraction) = match self.order {
+            MergeOrder::GreedyNearest => (0, 0),
+            MergeOrder::MultiMerge { fraction } => (1, fraction.to_bits()),
+        };
+        [tag, fraction, self.delay_weight.to_bits()]
+    }
 }
 
 /// How many disjoint pairs one round may merge over `n` active subtrees.
@@ -346,6 +360,23 @@ pub(crate) mod tests {
             .min_by(|x, y| x.2.partial_cmp(&y.2).unwrap())
             .unwrap();
         assert_eq!(greedy[0], (best_bf.0, best_bf.1));
+    }
+
+    #[test]
+    fn fingerprint_words_separate_configs() {
+        let default = TopoConfig::default().fingerprint_words();
+        assert_eq!(default, TopoConfig::default().fingerprint_words());
+        assert_ne!(default, TopoConfig::greedy().fingerprint_words());
+        let biased = TopoConfig {
+            delay_weight: 1e13,
+            ..TopoConfig::default()
+        };
+        assert_ne!(default, biased.fingerprint_words());
+        let half = TopoConfig {
+            order: MergeOrder::MultiMerge { fraction: 0.5 },
+            delay_weight: 0.0,
+        };
+        assert_ne!(default, half.fingerprint_words());
     }
 
     #[test]

@@ -25,6 +25,7 @@ static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        astdme_core::allocmeter::on_alloc();
         unsafe { System.alloc(layout) }
     }
 
@@ -34,6 +35,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        astdme_core::allocmeter::on_alloc();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -58,6 +60,23 @@ fn instance(n: usize) -> Instance {
             .expect("bound ok"),
     )
     .expect("regroup ok")
+}
+
+/// With an instrumented allocator installed, the pipeline's per-stage
+/// allocation deltas ([`astdme::StageStats::allocs`]) must be populated —
+/// the merge stage dominates and can never be zero on a real instance.
+#[test]
+fn pipeline_surfaces_per_stage_alloc_counts() {
+    use astdme::ClockRouter;
+    let inst = instance(60);
+    let out = astdme::AstDme::new().route_traced(&inst).expect("routes");
+    assert!(
+        out.stats.merge.allocs > 0,
+        "merge stage must observe allocations: {:?}",
+        out.stats
+    );
+    assert!(out.stats.total_allocs() >= out.stats.merge.allocs);
+    assert!(!out.stats.cache_hit, "no cache attached");
 }
 
 #[test]
