@@ -174,6 +174,40 @@ impl CostModel {
         };
         Self::static_cost(inst) * scale
     }
+
+    /// The a-priori cost of an incremental ECO flush
+    /// ([`crate::eco::EcoSession::flush`]) touching `dirty` sinks of
+    /// `inst`: the dirty cone's re-merging work (`dirty · log n`, with the
+    /// same group factor as [`CostModel::static_cost`]) plus the linear
+    /// sweep the replay pays regardless (leaf mapping, embedding, audit).
+    ///
+    /// Priced by the **dirty region, not the instance**: a one-sink move
+    /// on a 4000-sink instance must schedule cheaper than a fresh
+    /// 250-sink route. A flush touching every sink degenerates to
+    /// [`CostModel::static_cost`] (it *is* a full reroute).
+    pub fn static_flush_cost(inst: &Instance, dirty: usize) -> f64 {
+        if dirty >= inst.sink_count() {
+            return Self::static_cost(inst);
+        }
+        let n = inst.sink_count() as f64;
+        let k = inst.groups().group_count() as f64;
+        let cone = dirty as f64 * n.log2().max(1.0) * (1.0 + 0.1 * (k - 1.0));
+        cone + 0.05 * n
+    }
+
+    /// Estimated cost of flushing a `dirty`-sink ECO batch on `inst`:
+    /// [`CostModel::static_flush_cost`] under the same global
+    /// seconds-per-static-unit calibration as [`CostModel::estimate`]
+    /// (flushes share the pipeline's stages, so the full-route calibration
+    /// transfers).
+    pub fn estimate_flush(&self, inst: &Instance, dirty: usize) -> f64 {
+        let scale = if self.observed_static > 0.0 && self.observed_seconds > 0.0 {
+            self.observed_seconds / self.observed_static
+        } else {
+            1.0
+        };
+        Self::static_flush_cost(inst, dirty) * scale
+    }
 }
 
 /// Per-batch hardening policy: deadline budgets, fault injection, and
@@ -462,6 +496,33 @@ mod tests {
             Point::new(0.0, 3000.0),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn flush_estimate_prices_by_dirty_region_not_instance_size() {
+        // A one-sink ECO move on a large instance must schedule cheaper
+        // than a fresh route of a much smaller instance — both a-priori
+        // and under an observation-calibrated model.
+        let large = inst(4000, 0.0);
+        let small = inst(250, 0.0);
+        assert!(
+            CostModel::static_flush_cost(&large, 1) < CostModel::static_cost(&small),
+            "1-sink flush on n=4000 ({}) must undercut fresh n=250 ({})",
+            CostModel::static_flush_cost(&large, 1),
+            CostModel::static_cost(&small)
+        );
+        let mut model = CostModel::new();
+        let mut stats = RouteStats::default();
+        stats.merge.seconds = 0.5;
+        model.observe(&inst(1000, 0.0), &stats);
+        assert!(model.estimate_flush(&large, 1) < model.estimate(&small));
+        // Monotone in the dirty count, and a full-instance flush prices
+        // as a full reroute.
+        assert!(CostModel::static_flush_cost(&large, 1) < CostModel::static_flush_cost(&large, 64));
+        assert_eq!(
+            CostModel::static_flush_cost(&large, 4000),
+            CostModel::static_cost(&large)
+        );
     }
 
     #[test]

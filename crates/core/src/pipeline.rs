@@ -38,8 +38,10 @@ use astdme_topo::TopoConfig;
 use crate::drivers::{merge_until_one_traced, MergeTrace};
 use crate::{allocmeter, fault, RouteError};
 
-/// Iteration budget for the post-embedding skew repair pass.
-const REPAIR_ITERS: usize = 80;
+/// Iteration budget for the post-embedding skew repair pass (shared with
+/// the ECO flush path, which must repair identically to reroute
+/// bit-identically).
+pub(crate) const REPAIR_ITERS: usize = 80;
 
 /// The five pipeline stages, in execution order. Names the stage a
 /// [`fault`] checkpoint fired at — the injection point of a
@@ -122,6 +124,13 @@ pub struct RouteStats {
     /// either way — this flag (and the stage seconds) are the only
     /// difference.
     pub cache_hit: bool,
+    /// Subtree-cache lookups this run satisfied from the cache (0 or 1 for
+    /// a single pipeline run; aggregate across a batch to derive a hit
+    /// rate from route stats alone). Zero when no cache is attached.
+    pub cache_hits: u64,
+    /// Subtree-cache lookups this run missed (or failed verification).
+    /// Zero when no cache is attached.
+    pub cache_misses: u64,
 }
 
 impl RouteStats {
@@ -261,7 +270,10 @@ pub fn run(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, RouteError
 
 /// Derives the stage-1 regrouping of `inst` under the plan, or `None`
 /// when the instance's own groups are kept.
-fn derive_grouping(inst: &Instance, plan: &StagePlan) -> Result<Option<Instance>, RouteError> {
+pub(crate) fn derive_grouping(
+    inst: &Instance,
+    plan: &StagePlan,
+) -> Result<Option<Instance>, RouteError> {
     match plan.grouping {
         GroupingStage::Keep => Ok(None),
         GroupingStage::Single { bound } => {
@@ -482,11 +494,13 @@ pub fn run_with_cache(
     let merged = match cache.lookup(key, verify, norm.sink_count()) {
         Some(region) => {
             stats.cache_hit = true;
+            stats.cache_hits = 1;
             stats.merge.rounds = region.rounds;
             stats.merge.merges = region.merges;
             MergePhase::Hit(region)
         }
         None => {
+            stats.cache_misses = 1;
             let mut forest = Box::new(MergeForest::for_instance_with_model(
                 routed_against,
                 model,
@@ -639,7 +653,7 @@ fn corrupt_tree(tree: RoutedTree) -> RoutedTree {
 /// Returns [`RouteError::MalformedOutput`] (attributed to the current
 /// fleet batch index, when routing under one) describing the first
 /// violation found.
-fn validate_tree(tree: &RoutedTree, inst: &Instance) -> Result<(), RouteError> {
+pub(crate) fn validate_tree(tree: &RoutedTree, inst: &Instance) -> Result<(), RouteError> {
     let malformed = |detail: String| RouteError::MalformedOutput {
         instance: fault::current_instance(),
         detail,

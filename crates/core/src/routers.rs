@@ -103,6 +103,19 @@ impl AstDme {
         self.model = Some(model);
         self
     }
+
+    /// The router as explicit stage configuration — what
+    /// [`route_traced`](ClockRouter::route_traced) executes, and the plan
+    /// an [`EcoSession`](crate::eco::EcoSession) takes.
+    pub fn plan(&self) -> StagePlan {
+        StagePlan {
+            model: self.model,
+            engine: self.engine,
+            topo: self.topo,
+            grouping: GroupingStage::Keep,
+            merge: MergeStage::Flat,
+        }
+    }
 }
 
 impl Default for AstDme {
@@ -113,16 +126,7 @@ impl Default for AstDme {
 
 impl ClockRouter for AstDme {
     fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
-        pipeline::run(
-            inst,
-            &StagePlan {
-                model: self.model,
-                engine: self.engine,
-                topo: self.topo,
-                grouping: GroupingStage::Keep,
-                merge: MergeStage::Flat,
-            },
-        )
+        pipeline::run(inst, &self.plan())
     }
 
     fn name(&self) -> &'static str {
@@ -175,6 +179,19 @@ impl ExtBst {
         self.model = Some(model);
         self
     }
+
+    /// The router as explicit stage configuration (see [`AstDme::plan`]).
+    pub fn plan(&self) -> StagePlan {
+        StagePlan {
+            model: self.model,
+            engine: self.engine,
+            topo: self.topo,
+            grouping: GroupingStage::Single {
+                bound: Some(self.bound),
+            },
+            merge: MergeStage::Flat,
+        }
+    }
 }
 
 impl ClockRouter for ExtBst {
@@ -185,18 +202,7 @@ impl ClockRouter for ExtBst {
                 self.bound
             )));
         }
-        pipeline::run(
-            inst,
-            &StagePlan {
-                model: self.model,
-                engine: self.engine,
-                topo: self.topo,
-                grouping: GroupingStage::Single {
-                    bound: Some(self.bound),
-                },
-                merge: MergeStage::Flat,
-            },
-        )
+        pipeline::run(inst, &self.plan())
     }
 
     fn name(&self) -> &'static str {
@@ -241,6 +247,17 @@ impl GreedyDme {
         self.model = Some(model);
         self
     }
+
+    /// The router as explicit stage configuration (see [`AstDme::plan`]).
+    pub fn plan(&self) -> StagePlan {
+        StagePlan {
+            model: self.model,
+            engine: self.engine,
+            topo: self.topo,
+            grouping: GroupingStage::Single { bound: None },
+            merge: MergeStage::Flat,
+        }
+    }
 }
 
 impl Default for GreedyDme {
@@ -251,16 +268,7 @@ impl Default for GreedyDme {
 
 impl ClockRouter for GreedyDme {
     fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
-        pipeline::run(
-            inst,
-            &StagePlan {
-                model: self.model,
-                engine: self.engine,
-                topo: self.topo,
-                grouping: GroupingStage::Single { bound: None },
-                merge: MergeStage::Flat,
-            },
-        )
+        pipeline::run(inst, &self.plan())
     }
 
     fn name(&self) -> &'static str {
@@ -303,6 +311,20 @@ impl StitchPerGroup {
         self.model = Some(model);
         self
     }
+
+    /// The router as explicit stage configuration (see [`AstDme::plan`]).
+    /// Zero skew everywhere (matching the \[12\] extension that forces
+    /// zero inter-group offsets), but with a merge order that finishes
+    /// each group before any cross-group merge.
+    pub fn plan(&self) -> StagePlan {
+        StagePlan {
+            model: self.model,
+            engine: self.engine,
+            topo: self.topo,
+            grouping: GroupingStage::Single { bound: None },
+            merge: MergeStage::PerGroupThenStitch,
+        }
+    }
 }
 
 impl Default for StitchPerGroup {
@@ -313,19 +335,7 @@ impl Default for StitchPerGroup {
 
 impl ClockRouter for StitchPerGroup {
     fn route_traced(&self, inst: &Instance) -> Result<RouteOutcome, RouteError> {
-        // Zero skew everywhere (matching the [12] extension that forces
-        // zero inter-group offsets), but with a merge order that finishes
-        // each group before any cross-group merge.
-        pipeline::run(
-            inst,
-            &StagePlan {
-                model: self.model,
-                engine: self.engine,
-                topo: self.topo,
-                grouping: GroupingStage::Single { bound: None },
-                merge: MergeStage::PerGroupThenStitch,
-            },
-        )
+        pipeline::run(inst, &self.plan())
     }
 
     fn name(&self) -> &'static str {

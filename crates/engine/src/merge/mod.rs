@@ -51,11 +51,13 @@ mod embed;
 mod node;
 mod offset;
 mod pairing;
+mod record;
 
 #[cfg(test)]
 mod tests;
 
 pub use node::NodeId;
+pub use record::{MergeLog, MergeRecording, NO_NODE};
 
 use context::{class_of_in, Expansion, MergeCtx, Scratch};
 use node::Node;
@@ -245,6 +247,14 @@ impl MergeForest {
     ///
     /// Panics if `a == b` or either id is stale.
     pub fn merge(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.merge_impl(a, b, None)
+    }
+
+    /// The merge body, optionally recording a [`MergeLog`] into `rec` (see
+    /// [`MergeForest::merge_recorded`]). The recorded and unrecorded paths
+    /// run the same operations in the same order, so recording never
+    /// changes a routed bit.
+    fn merge_impl(&mut self, a: NodeId, b: NodeId, mut rec: Option<&mut MergeRecording>) -> NodeId {
         assert!(a != b, "cannot merge a node with itself");
         // Rank child-candidate pairs by estimated merge cost (distance plus
         // forced snaking / conflict-resolution cost); expand the best few.
@@ -267,7 +277,8 @@ impl MergeForest {
         pairs.truncate(self.cfg.pair_limit);
 
         let expansions = self.expand_pairs(a, b, &pairs);
-        let (mut cands, worst_residual) = self.commit_expansions(a, b, expansions);
+        let (mut cands, worst_residual, appends) =
+            self.commit_expansions(a, b, expansions, rec.is_some());
         if self.cfg.debug {
             if let Some(c) = cands.first() {
                 let d = self.nodes[a.0].cands[0]
@@ -297,11 +308,29 @@ impl MergeForest {
         }
         Self::prune(&mut cands, self.cfg.max_candidates);
         self.residual = self.residual.max(worst_residual);
+        let epoch_before = rec.as_ref().map_or(0, |r| r.epoch());
         if self.cfg.fuse_groups {
             self.fuse_classes(&mut cands);
         }
+        let epoch_after = match rec.as_mut() {
+            Some(r) if self.cfg.fuse_groups => r.note_class_state(&self.class_parent, &self.phi),
+            _ => epoch_before,
+        };
         let id = NodeId(self.nodes.len());
+        let creation_len = cands.len();
         self.nodes.push(Node::new(cands, Some((a, b)), None));
+        if let Some(r) = rec {
+            r.logs.push(MergeLog {
+                a: a.0 as u32,
+                b: b.0 as u32,
+                result: id.0 as u32,
+                creation_len: creation_len as u32,
+                appends,
+                residual: worst_residual,
+                epoch_before: epoch_before as u32,
+                epoch_after: epoch_after as u32,
+            });
+        }
         id
     }
 
@@ -389,12 +418,17 @@ impl MergeForest {
     /// against the pre-merge snapshot and replayed in pair order, the
     /// final candidate contents *and indices* are exactly what the old
     /// single-borrow serial loop produced.
+    ///
+    /// With `record` set, additionally returns the per-node append slices
+    /// `(node, start, len)` this commit wrote (empty otherwise) — the raw
+    /// material of a [`MergeLog`].
     fn commit_expansions(
         &mut self,
         a: NodeId,
         b: NodeId,
         expansions: Vec<Expansion>,
-    ) -> (Vec<Candidate>, f64) {
+        record: bool,
+    ) -> (Vec<Candidate>, f64, Vec<(u32, u32, u32)>) {
         // Pre-commit candidate counts of every overlay-touched node: any
         // provenance index below the snapshot refers to a committed
         // candidate; anything at or above is overlay-local to its pair.
@@ -457,11 +491,20 @@ impl MergeForest {
                 cands.push(cand);
             }
         }
+        let mut appends = Vec::new();
+        if record {
+            for &(n, pre) in snap.iter() {
+                let now = self.nodes[n].cands.len();
+                if now > pre {
+                    appends.push((n as u32, pre as u32, (now - pre) as u32));
+                }
+            }
+        }
         snap.clear();
         bases.clear();
         self.scratch.snap = snap;
         self.scratch.bases = bases;
-        (cands, worst_residual)
+        (cands, worst_residual, appends)
     }
 
     /// Keeps the `k` most promising candidates: cheapest wirelength first,

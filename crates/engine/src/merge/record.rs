@@ -1,0 +1,233 @@
+//! Merge recording and adoption: the engine half of incremental ECO
+//! re-routing.
+//!
+//! A **recording** ([`MergeRecording`]) captures, per merge, everything a
+//! later run needs to *re-create that merge without re-deriving it*:
+//! which children merged, how many candidates the new node was created
+//! with, which descendant nodes received appended candidates (offset
+//! adjustment writes into the overlay-touched subtree), the merge's
+//! residual contribution, and the global class-fusion state before and
+//! after. Candidate **values** are deliberately not copied — the recorded
+//! forest itself is kept alive by the ECO session, and every recorded
+//! value is a slice of it:
+//!
+//! * creation candidates of node `r` = the first `creation_len` entries of
+//!   `r`'s final candidate list (later appends are strictly suffix-only,
+//!   see `commit_expansions`);
+//! * appended candidates = `cands[start..start + len]` of the touched
+//!   node's final list.
+//!
+//! [`MergeForest::adopt_merge`] replays one recorded merge into a *new*
+//! forest: it validates that the class state matches the recorded
+//! pre-merge snapshot and that every append target has a counterpart in
+//! the new forest, then clones the creation prefix, re-pushes the recorded
+//! append slices, and folds in the recorded residual. Because a merge's
+//! result is a pure function of its children's candidate lists, the class
+//! state, and the engine config, an adopted node is **bit-identical** to
+//! what [`MergeForest::merge`] would have produced — adoption just skips
+//! the expansion work. Any validation failure returns `None` and the
+//! caller falls back to a fresh [`MergeForest::merge`], which is always
+//! correct.
+
+use super::node::Node;
+use super::{MergeForest, NodeId};
+use crate::Candidate;
+
+/// Sentinel in node-translation maps: the node has no counterpart.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// One recorded merge (the index slices follow the conventions laid out
+/// in this module's docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeLog {
+    /// First child, in merge orientation (merging is not symmetric in its
+    /// argument order).
+    pub a: u32,
+    /// Second child.
+    pub b: u32,
+    /// The node the merge created.
+    pub result: u32,
+    /// Number of candidates `result` was created with; its final list may
+    /// have grown by later appends, so the creation set is the prefix
+    /// `cands[..creation_len]`.
+    pub creation_len: u32,
+    /// Candidates this merge appended to descendant nodes during offset
+    /// adjustment, as `(node, start, len)` slices of the recorded forest's
+    /// final candidate lists, in commit order.
+    pub appends: Vec<(u32, u32, u32)>,
+    /// The merge's residual contribution (worst accepted skew-bound
+    /// violation; the forest residual is the running max of these).
+    pub residual: f64,
+    /// Index into [`MergeRecording`]'s class snapshots of the class state
+    /// this merge ran under.
+    pub epoch_before: u32,
+    /// Index of the class state after this merge (differs from
+    /// `epoch_before` only when the merge fused two classes).
+    pub epoch_after: u32,
+}
+
+/// The full merge script of one bottom-up run: per-merge logs plus every
+/// distinct class-fusion state the run went through (snapshot 0 is the
+/// initial state; at most one new snapshot per group fusion).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MergeRecording {
+    pub(super) logs: Vec<MergeLog>,
+    class_snaps: Vec<(Vec<u32>, Vec<f64>)>,
+}
+
+impl MergeRecording {
+    /// An empty recording seeded with `forest`'s current class state as
+    /// snapshot 0. Create it right after the leaves are added, before the
+    /// first merge.
+    pub fn for_forest(forest: &MergeForest) -> Self {
+        Self {
+            logs: Vec::new(),
+            class_snaps: vec![(forest.class_parent.clone(), forest.phi.clone())],
+        }
+    }
+
+    /// The recorded merges, in execution order.
+    pub fn logs(&self) -> &[MergeLog] {
+        &self.logs
+    }
+
+    /// Index of the current (latest) class snapshot.
+    pub(crate) fn epoch(&self) -> usize {
+        self.class_snaps.len() - 1
+    }
+
+    /// Records the class state after a merge: pushes a new snapshot iff it
+    /// differs bitwise from the latest one, and returns the current epoch.
+    pub(crate) fn note_class_state(&mut self, class_parent: &[u32], phi: &[f64]) -> usize {
+        let (lp, lphi) = self.class_snaps.last().expect("snapshot 0 always exists");
+        let same = lp.as_slice() == class_parent
+            && lphi.len() == phi.len()
+            && lphi
+                .iter()
+                .zip(phi)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+        if !same {
+            self.class_snaps.push((class_parent.to_vec(), phi.to_vec()));
+        }
+        self.epoch()
+    }
+
+    /// Whether `forest`'s current class state equals snapshot `epoch`,
+    /// bit for bit.
+    fn state_matches(&self, epoch: usize, forest: &MergeForest) -> bool {
+        let (p, phi) = &self.class_snaps[epoch];
+        p.as_slice() == forest.class_parent.as_slice()
+            && phi.len() == forest.phi.len()
+            && phi
+                .iter()
+                .zip(&forest.phi)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+}
+
+impl MergeForest {
+    /// [`MergeForest::merge`] that also appends a [`MergeLog`] to `rec`,
+    /// so the merge can later be adopted into another forest. Produces a
+    /// tree bit-identical to the unrecorded merge.
+    pub fn merge_recorded(&mut self, a: NodeId, b: NodeId, rec: &mut MergeRecording) -> NodeId {
+        self.merge_impl(a, b, Some(rec))
+    }
+
+    /// Replays the recorded merge `log` (of the forest `std`, recorded in
+    /// `rec`) as the merge of `x` and `y` in this forest, translating
+    /// recorded node ids through `std_to_new` (`std` node → this forest's
+    /// node, [`NO_NODE`] = no counterpart).
+    ///
+    /// Returns the adopted node, bit-identical to what
+    /// [`MergeForest::merge`]`(x, y)` would create — **provided** the
+    /// caller guarantees `x` and `y` are bit-identical counterparts of
+    /// `log.a` and `log.b` (same candidate lists, same orientation).
+    /// Validation that can be checked here — the class state matching the
+    /// recorded pre-merge snapshot, every append target being translated —
+    /// is checked before any mutation; on failure the forest is untouched
+    /// and `None` is returned (fall back to a fresh merge).
+    ///
+    /// When `rec_out` is given, the adopted merge is re-recorded into it
+    /// in this forest's id space, so the new forest supports the next
+    /// adoption pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adopt_merge(
+        &mut self,
+        x: NodeId,
+        y: NodeId,
+        std: &MergeForest,
+        log: &MergeLog,
+        rec: &MergeRecording,
+        std_to_new: &[u32],
+        rec_out: Option<&mut MergeRecording>,
+    ) -> Option<NodeId> {
+        if self.cfg.fuse_groups && !rec.state_matches(log.epoch_before as usize, self) {
+            return None;
+        }
+        for &(n, start, len) in &log.appends {
+            let mapped = std_to_new.get(n as usize).copied().unwrap_or(NO_NODE);
+            if mapped == NO_NODE {
+                return None;
+            }
+            if std.nodes[n as usize].cands.len() < (start + len) as usize {
+                return None;
+            }
+            // Positional alignment: the counterpart's list must sit at
+            // exactly the recorded pre-append length, or the cloned
+            // candidates' provenance indices (positional into child lists)
+            // would refer to different candidates than they did on record.
+            if self.nodes[mapped as usize].cands.len() != start as usize {
+                return None;
+            }
+        }
+        let src = &std.nodes[log.result as usize];
+        if src.cands.len() < log.creation_len as usize {
+            return None;
+        }
+        // Validated — mutate. Replay order (appends, then node creation)
+        // does not matter for bit-identity: the creation candidates'
+        // provenance indices point at creation-time child positions, which
+        // later appends never shift.
+        for &(n, start, len) in &log.appends {
+            let mapped = std_to_new[n as usize] as usize;
+            for i in start..start + len {
+                let cand = std.nodes[n as usize].cands[i as usize].clone();
+                self.nodes[mapped].push_candidate(cand);
+            }
+        }
+        let cands: Vec<Candidate> = src.cands[..log.creation_len as usize].to_vec();
+        self.residual = self.residual.max(log.residual);
+        if self.cfg.fuse_groups && log.epoch_after != log.epoch_before {
+            let (p, phi) = &rec.class_snaps[log.epoch_after as usize];
+            self.class_parent.copy_from_slice(p);
+            self.phi.copy_from_slice(phi);
+        }
+        let id = NodeId(self.nodes.len());
+        let creation_len = cands.len();
+        self.nodes.push(Node::new(cands, Some((x, y)), None));
+        if let Some(out) = rec_out {
+            let epoch_before = out.epoch();
+            let epoch_after = if self.cfg.fuse_groups {
+                out.note_class_state(&self.class_parent, &self.phi)
+            } else {
+                epoch_before
+            };
+            let appends = log
+                .appends
+                .iter()
+                .map(|&(n, start, len)| (std_to_new[n as usize], start, len))
+                .collect();
+            out.logs.push(MergeLog {
+                a: x.0 as u32,
+                b: y.0 as u32,
+                result: id.0 as u32,
+                creation_len: creation_len as u32,
+                appends,
+                residual: log.residual,
+                epoch_before: epoch_before as u32,
+                epoch_after: epoch_after as u32,
+            });
+        }
+        Some(id)
+    }
+}

@@ -39,8 +39,11 @@ mod plan;
 mod planner;
 
 pub use grid::GridIndex;
-pub use plan::{plan_round, MergeOrder, MergeSpace, TopoConfig};
-pub use planner::MergePlanner;
+pub use plan::{
+    pair_score, plan_round, round_limit, score_bits, select_disjoint, MergeOrder, MergeSpace,
+    TopoConfig, BRUTE_FORCE_CUTOFF,
+};
+pub use planner::{MergePlanner, NnSnapshotRow};
 
 /// Marker bound for planner spaces: with the `parallel` feature enabled it
 /// requires [`Sync`] (spaces are shared across worker threads); without it

@@ -14,8 +14,9 @@ use crate::{GridIndex, MaybeSync};
 /// Below this many active subtrees, planning scans all pairs exactly
 /// instead of going through the grid index: the scan is cheaper than
 /// maintaining the index and, unlike the grid's region-level query, ranks
-/// directly by exact merge cost.
-pub(crate) const BRUTE_FORCE_CUTOFF: usize = 32;
+/// directly by exact merge cost. Public so replay drivers (the ECO flush
+/// path) switch regimes at exactly the same size the planner does.
+pub const BRUTE_FORCE_CUTOFF: usize = 32;
 
 /// What the planner needs to know about the current set of subtrees.
 ///
@@ -95,7 +96,7 @@ impl TopoConfig {
 }
 
 /// How many disjoint pairs one round may merge over `n` active subtrees.
-pub(crate) fn round_limit(order: MergeOrder, n: usize) -> usize {
+pub fn round_limit(order: MergeOrder, n: usize) -> usize {
     match order {
         MergeOrder::GreedyNearest => 1,
         MergeOrder::MultiMerge { fraction } => {
@@ -107,19 +108,28 @@ pub(crate) fn round_limit(order: MergeOrder, n: usize) -> usize {
 
 /// The pair score used for ranking: exact distance minus the delay-target
 /// bias. Lower merges earlier.
-pub(crate) fn pair_score<S: MergeSpace>(
-    space: &S,
-    cfg: &TopoConfig,
-    a: usize,
-    b: usize,
-    d: f64,
-) -> f64 {
+pub fn pair_score<S: MergeSpace>(space: &S, cfg: &TopoConfig, a: usize, b: usize, d: f64) -> f64 {
     d - cfg.delay_weight * (space.delay(a) + space.delay(b))
+}
+
+/// Maps a non-NaN `f64` to bits whose unsigned order matches the float
+/// order (sign-magnitude to two's-complement folding). This is the score
+/// key the incremental [`MergePlanner`](crate::MergePlanner) ranks pairs
+/// by, exposed so replay drivers derive bit-identical ranking keys.
+#[inline]
+pub fn score_bits(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "pair scores must not be NaN");
+    let b = x.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
 }
 
 /// Greedily selects up to `limit` endpoint-disjoint pairs from
 /// `(a, b)` candidates already ranked best-first.
-pub(crate) fn select_disjoint(
+pub fn select_disjoint(
     mut ranked: impl Iterator<Item = (usize, usize)>,
     limit: usize,
 ) -> Vec<(usize, usize)> {

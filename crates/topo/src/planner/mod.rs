@@ -122,6 +122,18 @@ struct Entry {
     nn: Option<Nn>,
 }
 
+/// One row of [`MergePlanner::nn_snapshot`]: an active subtree plus its
+/// cached nearest neighbor, if one is cached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnSnapshotRow {
+    /// The active subtree's key.
+    pub key: usize,
+    /// Cached neighbor as `(neighbor key, region distance, folded score
+    /// bits)` — the exact triple the planner ranks the pair by (see
+    /// [`score_bits`](crate::score_bits)).
+    pub nn: Option<(usize, f64, u64)>,
+}
+
 /// Stateful, incremental merge planner (see the module docs).
 ///
 /// Drive it with [`MergePlanner::plan_round`] /
@@ -306,6 +318,34 @@ impl MergePlanner {
             "planner still holds multiple subtrees"
         );
         self.entries[0].key
+    }
+
+    /// Whether the planner is above the brute-force cutoff, i.e. the last
+    /// [`MergePlanner::plan_round`] at the current size went through the
+    /// grid-backed nearest-neighbor caches (whose state
+    /// [`MergePlanner::nn_snapshot`] captures) rather than the exact
+    /// all-pairs tail.
+    pub fn in_grid_regime(&self) -> bool {
+        self.entries.len() > BRUTE_FORCE_CUTOFF
+    }
+
+    /// Snapshot of every active subtree's cached nearest neighbor, in the
+    /// planner's internal active order (the order exact ties break by).
+    ///
+    /// Meaningful immediately after [`MergePlanner::plan_round`] in the
+    /// grid regime (see [`MergePlanner::in_grid_regime`]), when every
+    /// cache has just been flushed: the rows are then exactly the pair
+    /// ranking the round was selected from. Replay drivers (the ECO flush
+    /// path) record this per round to re-derive later rounds without
+    /// re-planning.
+    pub fn nn_snapshot(&self) -> Vec<NnSnapshotRow> {
+        self.entries
+            .iter()
+            .map(|e| NnSnapshotRow {
+                key: e.key,
+                nn: e.nn.map(|nn| (nn.key, nn.region_dist, nn.score)),
+            })
+            .collect()
     }
 
     /// Plans one merge round over the current active set: disjoint pairs,

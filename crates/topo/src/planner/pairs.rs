@@ -13,18 +13,7 @@ use super::{MergePlanner, Nn};
 use crate::plan::{pair_score, select_disjoint};
 use crate::MergeSpace;
 
-/// Maps a non-NaN `f64` to bits whose unsigned order matches the float
-/// order (sign-magnitude to two's-complement folding).
-#[inline]
-pub(super) fn score_bits(x: f64) -> u64 {
-    debug_assert!(!x.is_nan(), "pair scores must not be NaN");
-    let b = x.to_bits();
-    if b >> 63 == 0 {
-        b | (1 << 63)
-    } else {
-        !b
-    }
-}
+pub(super) use crate::plan::score_bits;
 
 impl MergePlanner {
     /// Whether the ranking entry `(score, lo, hi)` still describes a live
