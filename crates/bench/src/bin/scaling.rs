@@ -63,16 +63,40 @@
 //! tree (`"wirelength_bit_equal": true`), and at k=1, n ≥ 4000 the
 //! `speedup_incremental_vs_scratch` is gated at ≥ 2.0x in-binary — the
 //! dirty-region replay must stay sublinear in n.
+//!
+//! A `latency` section measures what the persistent pool and the
+//! completion-order stream buy beyond throughput:
+//!
+//! * **time-to-first-result** — `route_stream` over the skewed portfolio
+//!   vs the batch barrier's full wait, asserted strictly smaller
+//!   in-binary (the stream yields each outcome as it completes; the
+//!   barrier returns nothing until the last instance lands);
+//! * **pool-reuse speedup** — repeated small batches through the
+//!   persistent pool vs a resurrected spawn-per-call baseline (scoped
+//!   threads spawned and joined every call, the pre-pool shape), under an
+//!   explicit four-thread override so the fan-out engages even on a
+//!   single-core box; asserted ≥ 1.0 in-binary;
+//! * **barrier-free sweep throughput** — Monte Carlo variants/sec through
+//!   the streaming sweep (no chunk barriers);
+//! * the barrier's per-worker queue-wait and idle seconds (also surfaced
+//!   per `batch_throughput` entry), from the `StealStats` columns the
+//!   pool records on every fan-out.
+//!
+//! Stream wirelengths are asserted bit-equal to the sequential reference
+//! (`"wirelength_bit_equal": true`), same as the batch sections.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use astdme_bench::{json, PAPER_BOUND};
 use astdme_core::{
-    route_batch, route_batch_cached, run_bottom_up, run_bottom_up_from_scratch, AstDme, BatchPlan,
-    ClockRouter, CostModel, DelayModel, EcoEdit, EcoSession, EngineConfig, Instance, Point,
-    SubtreeCache, TopoConfig,
+    route_batch, route_batch_cached, route_stream, run_bottom_up, run_bottom_up_from_scratch,
+    sweep, AstDme, BatchPlan, ClockRouter, CostModel, DelayModel, EcoEdit, EcoSession,
+    EngineConfig, Instance, PerturbationSpec, Point, StreamPolicy, SubtreeCache, SweepConfig,
+    TopoConfig,
 };
 use astdme_instances::{partition, synthetic_instance};
 
@@ -295,7 +319,6 @@ fn measure_allocs(n: usize, inst: &Instance) -> Vec<AllocMeasurement> {
 /// up as phantom 5-30% deltas between byte-identical code paths.
 #[cfg(feature = "parallel")]
 fn measure_parallel(n: usize, inst: &Instance) -> Vec<ParMeasurement> {
-    use std::num::NonZeroUsize;
     const PAR_REPS: usize = 3;
     let model = DelayModel::elmore(*inst.rc());
     let engine = EngineConfig::thorough();
@@ -371,6 +394,13 @@ struct BatchMeasurement {
     /// Max/min worker busy-time of the fastest batch rep (1.0 when
     /// serial).
     balance: f64,
+    /// Worst submission-to-start latency across the fastest rep's workers
+    /// — how long a pool checkout + job dispatch kept work waiting.
+    max_queue_wait_seconds: f64,
+    /// Total busy-window time the fastest rep's workers spent not
+    /// executing instances (claim overhead, channel sends, starvation at
+    /// the tail of the schedule).
+    total_idle_seconds: f64,
 }
 
 /// Measures fleet-layer throughput over a portfolio of `BATCH_INSTANCES`
@@ -493,10 +523,12 @@ fn measure_portfolio(
         speedup: best[0] / best[1],
         workers: best_stats.workers(),
         balance: best_stats.balance(),
+        max_queue_wait_seconds: best_stats.max_queue_wait_seconds(),
+        total_idle_seconds: best_stats.total_idle_seconds(),
     };
     eprintln!(
-        "{portfolio:>8} batch {}  batch {:.3}s  sequential {:.3}s  {:.2} inst/s  speedup {:.3}  workers {}  balance {:.2}",
-        m.sizes, m.batch_seconds, m.sequential_seconds, m.instances_per_sec, m.speedup, m.workers, m.balance
+        "{portfolio:>8} batch {}  batch {:.3}s  sequential {:.3}s  {:.2} inst/s  speedup {:.3}  workers {}  balance {:.2}  queue-wait {:.4}s  idle {:.4}s",
+        m.sizes, m.batch_seconds, m.sequential_seconds, m.instances_per_sec, m.speedup, m.workers, m.balance, m.max_queue_wait_seconds, m.total_idle_seconds
     );
     m
 }
@@ -774,6 +806,257 @@ fn measure_eco(n: usize, k: usize) -> EcoMeasurement {
     m
 }
 
+/// One latency measurement: what the stream and the persistent pool buy
+/// beyond batch throughput.
+#[derive(Debug, Clone)]
+struct LatencyMeasurement {
+    /// Human-readable size mix of the streamed portfolio.
+    sizes: String,
+    /// Best wall-clock from stream construction to the first yielded
+    /// outcome.
+    time_to_first_result_seconds: f64,
+    /// Best wall-clock to drain the whole stream.
+    stream_drain_seconds: f64,
+    /// Best wall-clock for the batch barrier over the same portfolio.
+    batch_barrier_seconds: f64,
+    /// How much sooner the first outcome is actionable via the stream.
+    barrier_over_first_result: f64,
+    /// Small batches routed per timed pass of the pool-reuse comparison.
+    pool_reuse_calls: usize,
+    /// Spawn-per-call baseline time over persistent-pool time for the
+    /// same sequence of small batches (>= 1.0, asserted in-binary).
+    pool_reuse_speedup: f64,
+    /// Pool threads alive after the measurement — reuse means this stays
+    /// at the fan-out width instead of growing per call.
+    pool_threads: usize,
+    /// Variants routed by the barrier-free Monte Carlo sweep.
+    sweep_variants: usize,
+    /// Barrier-free sweep throughput (variants per second).
+    sweep_variants_per_sec: f64,
+    /// Worst submission-to-start latency across the fastest barrier rep.
+    max_queue_wait_seconds: f64,
+    /// Total non-routing worker time of the fastest barrier rep.
+    total_idle_seconds: f64,
+}
+
+/// The pre-pool shape resurrected as a baseline: route one batch by
+/// spawning scoped threads for this call only and joining them before
+/// returning — the per-call spawn/join cost the persistent pool deletes.
+/// Same claim-a-slot scheduling as the fleet barrier, so the only
+/// difference under test is where the worker threads come from.
+fn route_batch_spawn_per_call(instances: &[Instance], router: &AstDme, threads: usize) -> Vec<f64> {
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::with_capacity(instances.len()));
+    let work = |_worker: usize| loop {
+        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= instances.len() {
+            break;
+        }
+        let wl = router
+            .route_traced(&instances[idx])
+            .expect("routes")
+            .report
+            .wirelength();
+        collected
+            .lock()
+            .expect("no panics hold this lock")
+            .push((idx, wl));
+    };
+    std::thread::scope(|s| {
+        let work = &work;
+        for w in 1..threads {
+            s.spawn(move || work(w));
+        }
+        work(0);
+    });
+    let mut out = vec![0.0f64; instances.len()];
+    for (idx, wl) in collected.into_inner().expect("no panics hold this lock") {
+        out[idx] = wl;
+    }
+    out
+}
+
+/// Measures the `latency` section: time-to-first-result of
+/// [`route_stream`] vs the batch barrier on the skewed portfolio (the
+/// shape where a barrier wastes the most consumer time — the stream
+/// yields the eight small outcomes while the n=4000 instance is still in
+/// flight on multicore, and still beats the barrier serially because the
+/// first outcome lands before the remaining eight route), the
+/// persistent-pool reuse speedup over spawn-per-call on repeated small
+/// batches, and the barrier-free Monte Carlo sweep throughput.
+///
+/// Asserts in-binary: stream wirelengths bit-equal to the sequential
+/// reference, `time_to_first_result < batch_barrier_seconds`, and
+/// `pool_reuse_speedup >= 1.0`.
+fn measure_latency(quick: bool) -> LatencyMeasurement {
+    const LAT_REPS: usize = 3;
+    const LARGE_N: usize = 4000;
+    const SMALL_N: usize = 250;
+    const SMALL_COUNT: usize = 8;
+    let router: Arc<AstDme> = Arc::new(AstDme::new().with_engine(EngineConfig::fast()));
+    let mut instances = vec![instance_seeded(LARGE_N, SEED ^ 0x51)];
+    instances.extend(
+        (0..SMALL_COUNT).map(|i| instance_seeded(SMALL_N, SEED.wrapping_add(101 + i as u64))),
+    );
+
+    // Reference wirelengths (and warmup) from one sequential pass, which
+    // also calibrates the cost model for the barrier's schedule — the
+    // same protocol as `measure_portfolio`.
+    let mut model = CostModel::new();
+    let reference: Vec<f64> = instances
+        .iter()
+        .map(|inst| {
+            let out = router.route_traced(inst).expect("routes");
+            model.observe(inst, &out.stats);
+            out.report.wirelength()
+        })
+        .collect();
+    let plan = BatchPlan::with_model(&instances, &model);
+    let check = |wls: &[f64], label: &str| {
+        for (i, (&wl, &expected)) in wls.iter().zip(&reference).enumerate() {
+            assert!(
+                wl == expected,
+                "{label} diverged on skewed portfolio instance {i}: {wl} vs {expected}"
+            );
+        }
+    };
+
+    let mut best_first = f64::INFINITY;
+    let mut best_drain = f64::INFINITY;
+    let mut best_barrier = f64::INFINITY;
+    let mut best_stats = astdme_core::StealStats::default();
+    for _rep in 0..LAT_REPS {
+        let t0 = Instant::now();
+        let stream = route_stream(instances.clone(), router.clone(), StreamPolicy::new());
+        let mut first = f64::INFINITY;
+        let mut wls = vec![0.0f64; instances.len()];
+        for (seen, (idx, result)) in stream.enumerate() {
+            if seen == 0 {
+                first = t0.elapsed().as_secs_f64();
+            }
+            wls[idx] = result.expect("routes").report.wirelength();
+        }
+        let drain = t0.elapsed().as_secs_f64();
+        check(&wls, "route_stream");
+        best_first = best_first.min(first);
+        best_drain = best_drain.min(drain);
+
+        let t0 = Instant::now();
+        let (outcomes, stats) = plan.route_with_stats(&instances, router.as_ref());
+        let secs = t0.elapsed().as_secs_f64();
+        let wls: Vec<f64> = outcomes
+            .into_iter()
+            .map(|out| out.expect("routes").report.wirelength())
+            .collect();
+        check(&wls, "batch barrier");
+        if secs < best_barrier {
+            best_barrier = secs;
+            best_stats = stats;
+        }
+    }
+    assert!(
+        best_first < best_barrier,
+        "the stream's first result ({best_first:.4}s) must land before the batch barrier \
+         returns ({best_barrier:.4}s)"
+    );
+
+    // Pool reuse vs spawn-per-call on repeated small batches, under an
+    // explicit four-thread override so the fan-out engages (and costs
+    // three spawns per call in the baseline) even on a single-core
+    // machine. The batches are tiny on purpose: per-call dispatch is the
+    // quantity under test, so routing work is kept near the OS thread
+    // spawn/join cost rather than drowning it.
+    const POOL_CALLS: usize = 64;
+    const POOL_BATCH: usize = 4;
+    const POOL_N: usize = 16;
+    let small: Vec<Instance> = (0..POOL_BATCH)
+        .map(|i| instance_seeded(POOL_N, SEED.wrapping_add(0x2000 + i as u64)))
+        .collect();
+    astdme_par::set_thread_override(NonZeroUsize::new(4));
+    let threads = astdme_par::effective_threads();
+    let small_reference: Vec<f64> = route_batch(&small, router.as_ref())
+        .into_iter()
+        .map(|out| out.expect("routes").report.wirelength())
+        .collect();
+    let mut best_spawn = f64::INFINITY;
+    let mut best_pool = f64::INFINITY;
+    for _rep in 0..LAT_REPS {
+        let t0 = Instant::now();
+        for _ in 0..POOL_CALLS {
+            let wls = route_batch_spawn_per_call(&small, router.as_ref(), threads);
+            assert_eq!(wls, small_reference, "spawn-per-call baseline diverged");
+        }
+        best_spawn = best_spawn.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        for _ in 0..POOL_CALLS {
+            let wls: Vec<f64> = route_batch(&small, router.as_ref())
+                .into_iter()
+                .map(|out| out.expect("routes").report.wirelength())
+                .collect();
+            assert_eq!(wls, small_reference, "pooled batch diverged");
+        }
+        best_pool = best_pool.min(t0.elapsed().as_secs_f64());
+    }
+    astdme_par::set_thread_override(None);
+    let pool_reuse_speedup = best_spawn / best_pool;
+    assert!(
+        pool_reuse_speedup >= 1.0,
+        "the persistent pool must not lose to spawn-per-call on repeated small batches; \
+         measured {pool_reuse_speedup:.3}x over {POOL_CALLS} calls"
+    );
+
+    // Barrier-free Monte Carlo sweep throughput on a small nominal
+    // instance — workers stream variants through the pool with no chunk
+    // barriers, so this rate has no straggler-wait component.
+    let sweep_variants = if quick { 64 } else { 192 };
+    let nominal = instance_seeded(SMALL_N, SEED ^ 0x0AB5);
+    let spec = PerturbationSpec::new(SEED)
+        .with_position_jitter(300.0)
+        .with_load_jitter(0.2)
+        .with_rc_jitter(0.1);
+    let config = SweepConfig::new(sweep_variants);
+    let mut best_sweep = f64::INFINITY;
+    for _rep in 0..LAT_REPS {
+        let t0 = Instant::now();
+        let report = sweep(&nominal, &spec, &config, router.as_ref()).expect("sweeps");
+        best_sweep = best_sweep.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            report.succeeded, sweep_variants,
+            "sweep variants must route"
+        );
+    }
+
+    let m = LatencyMeasurement {
+        sizes: format!("1x{LARGE_N}+{SMALL_COUNT}x{SMALL_N}"),
+        time_to_first_result_seconds: best_first,
+        stream_drain_seconds: best_drain,
+        batch_barrier_seconds: best_barrier,
+        barrier_over_first_result: best_barrier / best_first,
+        pool_reuse_calls: POOL_CALLS,
+        pool_reuse_speedup,
+        pool_threads: astdme_par::pool_threads(),
+        sweep_variants,
+        sweep_variants_per_sec: sweep_variants as f64 / best_sweep,
+        max_queue_wait_seconds: best_stats.max_queue_wait_seconds(),
+        total_idle_seconds: best_stats.total_idle_seconds(),
+    };
+    eprintln!(
+        " latency {}  first {:.4}s  drain {:.4}s  barrier {:.4}s ({:.2}x)  pool-reuse {:.3}x (spawn {:.4}s vs pool {:.4}s over {POOL_CALLS} calls)  sweep {:.1}/s  pool threads {}",
+        m.sizes,
+        m.time_to_first_result_seconds,
+        m.stream_drain_seconds,
+        m.batch_barrier_seconds,
+        m.barrier_over_first_result,
+        m.pool_reuse_speedup,
+        best_spawn,
+        best_pool,
+        m.sweep_variants_per_sec,
+        m.pool_threads
+    );
+    m
+}
+
 fn to_json(
     measurements: &[Measurement],
     allocs: &[AllocMeasurement],
@@ -781,6 +1064,7 @@ fn to_json(
     batch: &[BatchMeasurement],
     dedup: &[DedupMeasurement],
     eco: &[EcoMeasurement],
+    latency: &[LatencyMeasurement],
 ) -> String {
     let items: Vec<String> = measurements
         .iter()
@@ -894,6 +1178,11 @@ fn to_json(
                     json::field("speedup", json::number(m.speedup)),
                     json::field("workers", format!("{}", m.workers)),
                     json::field("balance_max_over_min_busy", json::number(m.balance)),
+                    json::field(
+                        "max_queue_wait_seconds",
+                        json::number(m.max_queue_wait_seconds),
+                    ),
+                    json::field("total_idle_seconds", json::number(m.total_idle_seconds)),
                     // Asserted inside the measurement (the run aborts on a
                     // mismatch); recorded so CI can grep the guarantee.
                     json::field("wirelength_bit_equal", "true"),
@@ -962,8 +1251,54 @@ fn to_json(
             )
         })
         .collect();
+    // Stream/pool latency: time-to-first-result, pool reuse, sweep rate.
+    let latency_items: Vec<String> = latency
+        .iter()
+        .map(|m| {
+            json::object(
+                &[
+                    json::field("portfolio", json::quote("skewed")),
+                    json::field("sizes", json::quote(&m.sizes)),
+                    json::field("router", json::quote("AST-DME")),
+                    json::field("engine", json::quote("fast")),
+                    json::field(
+                        "time_to_first_result_seconds",
+                        json::number(m.time_to_first_result_seconds),
+                    ),
+                    json::field("stream_drain_seconds", json::number(m.stream_drain_seconds)),
+                    json::field(
+                        "batch_barrier_seconds",
+                        json::number(m.batch_barrier_seconds),
+                    ),
+                    json::field(
+                        "barrier_over_first_result",
+                        json::number(m.barrier_over_first_result),
+                    ),
+                    json::field("pool_reuse_calls", format!("{}", m.pool_reuse_calls)),
+                    json::field("pool_reuse_speedup", json::number(m.pool_reuse_speedup)),
+                    json::field("pool_threads", format!("{}", m.pool_threads)),
+                    json::field("sweep_variants", format!("{}", m.sweep_variants)),
+                    json::field(
+                        "sweep_variants_per_sec",
+                        json::number(m.sweep_variants_per_sec),
+                    ),
+                    json::field(
+                        "max_queue_wait_seconds",
+                        json::number(m.max_queue_wait_seconds),
+                    ),
+                    json::field("total_idle_seconds", json::number(m.total_idle_seconds)),
+                    // All three latency guarantees are asserted inside the
+                    // measurement (bit-equal wirelengths, first result
+                    // before the barrier, pool reuse >= 1.0); recorded so
+                    // CI can grep them.
+                    json::field("wirelength_bit_equal", "true"),
+                ],
+                4,
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {},\n  \"allocs_per_merge\": {},\n  \"parallel_expansion\": {},\n  \"parallel_speedups\": {},\n  \"batch_throughput\": {},\n  \"dedup\": {},\n  \"eco\": {}\n}}\n",
+        "{{\n  \"bench\": \"scaling\",\n  \"groups\": {GROUPS},\n  \"seed\": {SEED},\n  \"measurements\": {},\n  \"speedups\": {},\n  \"allocs_per_merge\": {},\n  \"parallel_expansion\": {},\n  \"parallel_speedups\": {},\n  \"batch_throughput\": {},\n  \"dedup\": {},\n  \"eco\": {},\n  \"latency\": {}\n}}\n",
         json::array(&items, 2),
         json::array(&summaries, 2),
         json::array(&alloc_items, 2),
@@ -971,7 +1306,8 @@ fn to_json(
         json::array(&par_summaries, 2),
         json::array(&batch_items, 2),
         json::array(&dedup_items, 2),
-        json::array(&eco_items, 2)
+        json::array(&eco_items, 2),
+        json::array(&latency_items, 2)
     )
 }
 
@@ -1035,6 +1371,9 @@ fn main() {
             }
         }
     }
+    // Stream/pool latency: runs last so the pool-thread count it records
+    // reflects a fully warmed process.
+    let latency_measurements = vec![measure_latency(quick)];
     let doc = to_json(
         &measurements,
         &alloc_measurements,
@@ -1042,6 +1381,7 @@ fn main() {
         &batch_measurements,
         &dedup_measurements,
         &eco_measurements,
+        &latency_measurements,
     );
     std::fs::write(&out_path, &doc).expect("write BENCH_scaling.json");
     eprintln!("wrote {out_path}");
@@ -1125,6 +1465,24 @@ fn main() {
             m.speedup,
             m.adopted_merges,
             m.fresh_merges
+        );
+    }
+    println!();
+    println!(
+        "| latency portfolio | first (s) | drain (s) | barrier (s) | pool reuse | sweep var/s |"
+    );
+    println!(
+        "|-------------------|-----------|-----------|-------------|------------|-------------|"
+    );
+    for m in &latency_measurements {
+        println!(
+            "| {} | {:.4} | {:.4} | {:.4} | {:.3} | {:.1} |",
+            m.sizes,
+            m.time_to_first_result_seconds,
+            m.stream_drain_seconds,
+            m.batch_barrier_seconds,
+            m.pool_reuse_speedup,
+            m.sweep_variants_per_sec
         );
     }
 }

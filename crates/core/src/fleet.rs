@@ -1,12 +1,21 @@
-//! The fleet layer: batch routing of whole instance portfolios, scheduled
-//! by a cost model over a work-stealing thread pool.
+//! The fleet layer: batch and streaming routing of whole instance
+//! portfolios, scheduled by a cost model onto `astdme_par`'s persistent
+//! worker pool.
 //!
 //! The paper's evaluation routes a portfolio — every circuit × group count
 //! × router — and a production deployment serves many scenarios
-//! concurrently. [`route_batch`] is the one entry point for that shape of
-//! work: it fans **whole instances** out across threads and returns
-//! outcomes in input order, so results are bit-identical to a sequential
-//! loop at every thread count.
+//! concurrently. Two entry points cover both shapes of consumption:
+//!
+//! * [`route_batch`] — **barrier semantics**: fans whole instances out
+//!   across pool workers and returns outcomes in input order, bit-identical
+//!   to a sequential loop at every thread count. Internally this is the
+//!   streaming execution below plus a collect-and-reorder step.
+//! * [`route_stream`] — **completion-order semantics**: returns a
+//!   [`RouteStream`] iterator yielding `(input index, outcome)` pairs *as
+//!   instances finish*, with a bounded number of completed-but-unconsumed
+//!   outcomes in flight. The first small instance of a skewed portfolio is
+//!   available orders of magnitude before the barrier would release it —
+//!   the serving-layer shape the ROADMAP's daemon item needs.
 //!
 //! # Scheduling
 //!
@@ -20,14 +29,17 @@
 //!   refined by observed per-stage seconds ([`crate::RouteStats`]) fed to
 //!   a [`CostModel`] from prior runs — and hands instances to the workers
 //!   costliest first, the classic LPT heuristic.
-//! * **Work stealing.** The fan-out runs on
-//!   [`astdme_par::par_map_indexed`]'s small-block stealing scheduler, so
-//!   a worker that finishes its instances early pulls the next pending
-//!   one instead of idling behind a static chunk boundary.
+//! * **Work claiming.** Batch and stream workers share one atomic cursor
+//!   over the scheduled order: a worker that finishes early claims the
+//!   next pending instance instead of idling behind a static chunk
+//!   boundary. Workers come from [`astdme_par`]'s persistent pool —
+//!   parked threads woken per call, not spawned per call.
 //!
-//! Both mechanisms change scheduling only: every result is written back to
-//! its *input-order* slot, so the returned vector is identical at every
-//! thread count (and to the sequential loop).
+//! Both mechanisms change scheduling only: each instance's outcome is a
+//! pure function of the instance and router, so the batch vector is
+//! identical at every thread count (and to the sequential loop), and the
+//! stream yields the same `(index, outcome)` set in a different arrival
+//! order.
 //!
 //! Instance-level fan-out composes safely with the engine's own `parallel`
 //! feature: workers are marked, and any nested fan-out (the engine's
@@ -40,9 +52,23 @@
 //! [`RouteError`] slot and the rest of the batch routes normally. That
 //! holds for *panics* too — the fleet layer catches a panic inside a
 //! router and surfaces it as [`RouteError::Panicked`] for that instance
-//! only, instead of letting the unwind kill the whole batch.
+//! only, instead of letting the unwind kill the whole batch or stream.
+//!
+//! # Stream lifecycle
+//!
+//! A [`RouteStream`] owns its instances and router handle (workers are
+//! detached pool jobs, so nothing may borrow from the caller), bounds
+//! completed-unconsumed outcomes at [`StreamPolicy::in_flight`] (workers
+//! block rather than pile up results), and cancels on drop: dropping the
+//! iterator early stops workers from claiming further instances and
+//! unblocks any worker waiting to deliver — no joins, no deadlocks, no
+//! leaked work beyond the instances already being routed.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use astdme_cache::{BoundedLru, SubtreeCache};
 use astdme_engine::Instance;
@@ -350,6 +376,13 @@ impl BatchPlan {
     /// injection, and index-offset attribution. Instances the policy does
     /// not touch return outcomes bit-identical to a policy-free run at
     /// every thread count.
+    ///
+    /// This is the collect-and-reorder form of the streaming execution:
+    /// pool workers claim schedule slots from a shared cursor and deliver
+    /// `(input index, outcome)` pairs in completion order; the barrier
+    /// drains them into input-order slots after the last worker finishes.
+    /// Each outcome is a pure function of its instance and the policy, so
+    /// the reorder step preserves bit-identity with the sequential loop.
     pub fn route_with_policy<R>(
         &self,
         instances: &[Instance],
@@ -364,17 +397,82 @@ impl BatchPlan {
             instances.len(),
             "BatchPlan built for a different batch size"
         );
-        let (scheduled, stats) =
-            astdme_par::par_map_indexed_stats(&self.order, MIN_BATCH_FANOUT, |_slot, &idx| {
-                route_caught(router, &instances[idx], idx + policy.index_offset, policy)
-            });
-        // Scatter from schedule order back to input-order slots.
-        let mut out: Vec<Option<Result<RouteOutcome, RouteError>>> =
-            Vec::with_capacity(instances.len());
-        out.resize_with(instances.len(), || None);
-        for (slot, result) in scheduled.into_iter().enumerate() {
-            out[self.order[slot]] = Some(result);
-        }
+        let len = instances.len();
+        let mut out: Vec<Option<Result<RouteOutcome, RouteError>>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        let threads = astdme_par::fanout_threads(len, MIN_BATCH_FANOUT);
+        let stats = if threads < 2 {
+            // Serial: route in schedule order, scatter to input slots —
+            // byte-for-byte the one-thread schedule the determinism tests
+            // compare against.
+            let t0 = Instant::now();
+            for &idx in &self.order {
+                out[idx] = Some(route_caught(
+                    router,
+                    &instances[idx],
+                    idx + policy.index_offset,
+                    policy,
+                ));
+            }
+            StealStats {
+                worker_busy_seconds: vec![t0.elapsed().as_secs_f64()],
+                worker_items: vec![len],
+                worker_queue_wait_seconds: vec![0.0],
+                worker_idle_seconds: vec![0.0],
+            }
+        } else {
+            // Streamed barrier: the caller and `threads - 1` pool helpers
+            // claim schedule slots from a shared cursor and send
+            // completion-order results over an unbounded channel (every
+            // send is buffered, so no worker ever blocks on delivery and
+            // the barrier drains after the join).
+            let (tx, rx) = std::sync::mpsc::channel();
+            let cursor = AtomicUsize::new(0);
+            let submitted = Instant::now();
+            let clocks: Mutex<Vec<(f64, usize, f64, f64)>> = Mutex::new(Vec::new());
+            let work = |_slot: usize| {
+                let tx = tx.clone();
+                let queue_wait = submitted.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let mut items = 0usize;
+                let mut item_seconds = 0.0f64;
+                loop {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    if slot >= len {
+                        break;
+                    }
+                    let idx = self.order[slot];
+                    let tb = Instant::now();
+                    let result =
+                        route_caught(router, &instances[idx], idx + policy.index_offset, policy);
+                    item_seconds += tb.elapsed().as_secs_f64();
+                    items += 1;
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+                let busy = t0.elapsed().as_secs_f64();
+                clocks.lock().unwrap_or_else(|e| e.into_inner()).push((
+                    busy,
+                    items,
+                    queue_wait,
+                    (busy - item_seconds).max(0.0),
+                ));
+            };
+            astdme_par::scope_with(threads - 1, &work, |_running| work(0));
+            for (idx, result) in rx.try_iter() {
+                out[idx] = Some(result);
+            }
+            let mut stats = StealStats::default();
+            let clocks = clocks.into_inner().unwrap_or_else(|e| e.into_inner());
+            for (busy, items, queue_wait, idle) in clocks {
+                stats.worker_busy_seconds.push(busy);
+                stats.worker_items.push(items);
+                stats.worker_queue_wait_seconds.push(queue_wait);
+                stats.worker_idle_seconds.push(idle);
+            }
+            stats
+        };
         let out = out
             .into_iter()
             .map(|r| r.expect("schedule order is a permutation of the batch"))
@@ -389,7 +487,9 @@ impl BatchPlan {
 /// fleet layer. Installs the thread-local route context the pipeline's
 /// fault/deadline checkpoints poll; the RAII guard clears it even when the
 /// route panics, so the worker thread is clean for its next instance.
-fn route_caught<R>(
+/// Crate-visible: the robustness sweep routes its variants through the
+/// same guarded path.
+pub(crate) fn route_caught<R>(
     router: &R,
     inst: &Instance,
     index: usize,
@@ -471,6 +571,247 @@ where
     BatchPlan::new(instances)
         .route_with_policy(instances, router, &policy)
         .0
+}
+
+/// Default bound on completed-but-unconsumed outcomes a [`RouteStream`]
+/// holds before its workers block: deep enough that a consumer doing real
+/// work per result never stalls the workers, shallow enough that a slow
+/// consumer of a large portfolio caps memory at a handful of trees.
+pub const DEFAULT_STREAM_IN_FLIGHT: usize = 16;
+
+/// How a [`route_stream`] call runs: the per-instance hardening policy
+/// plus the stream's in-flight bound and worker count.
+#[derive(Debug, Clone)]
+pub struct StreamPolicy {
+    /// Per-instance hardening applied to every routed instance: deadline,
+    /// fault injection, index-offset attribution, subtree cache — exactly
+    /// the [`BatchPolicy`] semantics of the barrier path.
+    pub batch: BatchPolicy,
+    /// Bound on completed-but-unconsumed outcomes (clamped to ≥ 1 at
+    /// stream construction). Workers that finish an instance while the
+    /// buffer is full block until the consumer catches up, so peak live
+    /// trees stay at `in_flight` plus one per worker.
+    pub in_flight: usize,
+    /// Number of stream workers, capped at the instance count; `None`
+    /// (the default) uses [`astdme_par::effective_threads`] — the thread
+    /// override when set, else `ASTDME_THREADS`/`available_parallelism`.
+    pub workers: Option<usize>,
+}
+
+impl Default for StreamPolicy {
+    fn default() -> Self {
+        Self {
+            batch: BatchPolicy::default(),
+            in_flight: DEFAULT_STREAM_IN_FLIGHT,
+            workers: None,
+        }
+    }
+}
+
+impl StreamPolicy {
+    /// The default policy: no hardening, [`DEFAULT_STREAM_IN_FLIGHT`]
+    /// outcomes in flight, automatic worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-instance hardening policy; returns `self`.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the in-flight bound (clamped to at least 1); returns `self`.
+    pub fn with_in_flight(mut self, in_flight: usize) -> Self {
+        self.in_flight = in_flight.max(1);
+        self
+    }
+
+    /// Pins the worker count (capped at the instance count when the
+    /// stream starts); returns `self`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+}
+
+/// State shared between a [`RouteStream`] handle and its detached pool
+/// workers. Owned (behind an `Arc`), never borrowed: detached jobs have no
+/// barrier to outwait a caller's stack frame, and a leaked handle must not
+/// dangle them.
+struct StreamShared {
+    instances: Vec<Instance>,
+    /// LPT schedule over `instances` (see [`BatchPlan`]).
+    order: Vec<usize>,
+    /// Next schedule slot to claim.
+    cursor: AtomicUsize,
+    /// Set when the handle drops: workers stop claiming new instances.
+    cancelled: AtomicBool,
+    router: Arc<dyn ClockRouter + Send + Sync>,
+    policy: BatchPolicy,
+}
+
+/// A completion-order stream of routing outcomes; see [`route_stream`].
+///
+/// Iterates `(input index, outcome)` pairs in the order instances
+/// *finish* — for a skewed portfolio under multiple workers, the first
+/// yields arrive while the largest instance is still routing. The full
+/// drain contains exactly one pair per instance; collecting and reordering
+/// them reproduces [`route_batch`]'s vector bit for bit.
+///
+/// Dropping the stream before exhaustion **cancels** it: workers stop
+/// claiming new instances, any worker blocked on delivery unblocks
+/// immediately (its completed outcome is discarded), and instances already
+/// mid-route run to completion on the pool without anything waiting on
+/// them. Dropping never blocks and never deadlocks the pool.
+pub struct RouteStream {
+    rx: Receiver<(usize, Result<RouteOutcome, RouteError>)>,
+    shared: Arc<StreamShared>,
+    total: usize,
+    yielded: usize,
+}
+
+impl std::fmt::Debug for RouteStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteStream")
+            .field("total", &self.total)
+            .field("yielded", &self.yielded)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RouteStream {
+    /// Number of instances the stream was started with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of outcomes yielded so far.
+    pub fn yielded(&self) -> usize {
+        self.yielded
+    }
+
+    /// Outcomes not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.total - self.yielded
+    }
+}
+
+impl Iterator for RouteStream {
+    type Item = (usize, Result<RouteOutcome, RouteError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.rx.recv() {
+            Ok(item) => {
+                self.yielded += 1;
+                Some(item)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.remaining();
+        (remaining, Some(remaining))
+    }
+}
+
+impl Drop for RouteStream {
+    fn drop(&mut self) {
+        // Stop workers from claiming further instances; dropping `rx`
+        // right after (field drop order) disconnects the channel, so a
+        // worker blocked mid-`send` gets `SendError` and exits its loop.
+        self.shared.cancelled.store(true, Ordering::Release);
+    }
+}
+
+/// Routes `instances` through `router` on detached pool workers and
+/// returns a [`RouteStream`] yielding `(input index, outcome)` pairs in
+/// **completion order** — each result available the moment its instance
+/// finishes, instead of at the batch barrier.
+///
+/// Instances are scheduled costliest-first (the same [`BatchPlan`] LPT
+/// order as [`route_batch`]) and claimed from a shared cursor, so the
+/// skewed-portfolio behavior is: the big instance starts immediately on
+/// one worker while the others drain the small ones — time-to-first-result
+/// is one *small* route, not the whole batch (the scaling bench's
+/// `latency` section measures exactly this against the barrier wait).
+///
+/// Per-instance semantics are identical to the batch path: outcomes are a
+/// pure function of `(instance, router, policy.batch)`, panics surface as
+/// [`RouteError::Panicked`] in their own instance's pair while later
+/// completions keep arriving, and deadlines/faults/caches apply per
+/// [`BatchPolicy`]. Collecting the stream and sorting by index reproduces
+/// [`route_batch`] bit for bit.
+///
+/// The stream owns `instances` and the router handle — workers are
+/// detached pool jobs that may outlive any particular stack frame, so
+/// nothing here can borrow. An empty `instances` yields an immediately
+/// exhausted stream.
+pub fn route_stream(
+    instances: Vec<Instance>,
+    router: Arc<dyn ClockRouter + Send + Sync>,
+    policy: StreamPolicy,
+) -> RouteStream {
+    let total = instances.len();
+    let plan = BatchPlan::new(&instances);
+    let workers = policy
+        .workers
+        .unwrap_or_else(astdme_par::effective_threads)
+        .max(1)
+        .min(total);
+    let (tx, rx) = sync_channel(policy.in_flight.max(1));
+    let shared = Arc::new(StreamShared {
+        instances,
+        order: plan.order,
+        cursor: AtomicUsize::new(0),
+        cancelled: AtomicBool::new(false),
+        router,
+        policy: policy.batch,
+    });
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        astdme_par::spawn_pooled(move || stream_worker(&shared, &tx));
+    }
+    // With the spawn-loop clones handed out, drop the original sender:
+    // the channel disconnects (and `next()` returns `None`) exactly when
+    // the last worker exits — or immediately for an empty portfolio.
+    drop(tx);
+    RouteStream {
+        rx,
+        shared,
+        total,
+        yielded: 0,
+    }
+}
+
+/// One detached stream worker: claim the next scheduled instance, route
+/// it, deliver the outcome, repeat — until the schedule is exhausted, the
+/// stream is cancelled, or delivery fails (receiver gone).
+fn stream_worker(
+    shared: &StreamShared,
+    tx: &SyncSender<(usize, Result<RouteOutcome, RouteError>)>,
+) {
+    loop {
+        if shared.cancelled.load(Ordering::Acquire) {
+            break;
+        }
+        let slot = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if slot >= shared.order.len() {
+            break;
+        }
+        let idx = shared.order[slot];
+        let result = route_caught(
+            shared.router.as_ref(),
+            &shared.instances[idx],
+            idx + shared.policy.index_offset,
+            &shared.policy,
+        );
+        if tx.send((idx, result)).is_err() {
+            break;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -70,8 +70,8 @@ pub use eco::{EcoEdit, EcoSession, EcoStats};
 pub use error::RouteError;
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use fleet::{
-    route_batch, route_batch_cached, BatchPlan, BatchPolicy, CostModel, StealStats,
-    COST_MODEL_SHAPES,
+    route_batch, route_batch_cached, route_stream, BatchPlan, BatchPolicy, CostModel, RouteStream,
+    StealStats, StreamPolicy, COST_MODEL_SHAPES, DEFAULT_STREAM_IN_FLIGHT,
 };
 pub use pipeline::{
     run_with_cache, GroupingStage, MergeStage, RouteOutcome, RouteStats, StageId, StagePlan,

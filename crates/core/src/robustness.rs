@@ -17,12 +17,15 @@
 //!   of variants never depends on chunking, thread count, or how many
 //!   variants the sweep asks for — variant 17 of a 64-variant sweep is
 //!   bit-identical to variant 17 of a 10 000-variant sweep;
-//! * [`sweep`] fans the variants through [`BatchPlan`] chunks under a
-//!   [`BatchPolicy`] (per-instance deadlines and [`FaultPlan`] injection
-//!   included) and streams each outcome into a bounded accumulator:
-//!   scalar metrics are retained for exact percentiles, **full trees are
-//!   dropped immediately** — memory is O(variants) doubles, never
-//!   O(variants) trees;
+//! * [`sweep`] fans the variants out **barrier-free** onto the persistent
+//!   worker pool under a [`BatchPolicy`] (per-instance deadlines and
+//!   [`FaultPlan`] injection included): workers derive variants on demand,
+//!   route them, reduce each outcome to scalars *worker-side* (full trees
+//!   are dropped there, never crossing a channel), and stream the scalars
+//!   to the accumulating caller through a bounded channel — no chunk
+//!   barriers, so no worker ever idles waiting for a chunk's slowest
+//!   variant; memory is O(variants) doubles plus the in-flight bound,
+//!   never O(variants) trees or instances;
 //! * the result is a [`RobustnessReport`]: running mean/min/max and exact
 //!   p50/p90/p99 over global skew, intra-group skew and wirelength, plus
 //!   per-variant failure accounting ([`VariantFailure`]) for every slot
@@ -34,13 +37,17 @@
 //! fixed-order accumulation here), so whole distribution reports pin into
 //! golden tests — see `tests/robustness.rs`.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+
 use astdme_engine::{Groups, Instance, Sink};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 use crate::fault::FaultPlan;
-use crate::fleet::{BatchPlan, BatchPolicy};
+use crate::fleet::BatchPolicy;
 use crate::{ClockRouter, RouteError};
 
 /// A seeded description of how to perturb a nominal instance into Monte
@@ -253,15 +260,19 @@ fn mix_seed(seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// How a sweep runs: variant count, chunking, and the fleet hardening
-/// policy applied to every chunk.
+/// How a sweep runs: variant count, in-flight bound, and the fleet
+/// hardening policy applied to every variant.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Number of Monte Carlo variants to route.
     pub variants: usize,
-    /// Variants per [`BatchPlan`] chunk — bounds peak memory (one chunk
-    /// of instances is alive at a time) without affecting results
-    /// (variants are index-seeded, so chunk boundaries are invisible).
+    /// Bound on routed-but-not-yet-accumulated variant results in flight
+    /// between the pool workers and the accumulating caller — workers
+    /// that run ahead of the accumulator block instead of piling up
+    /// results. Historically the chunk size of a barriered sweep; since
+    /// the barrier-free rewrite it only bounds memory and never affects
+    /// results (variants are index-seeded, so delivery order is
+    /// invisible to the report).
     pub chunk: usize,
     /// Per-variant deadline budget in seconds, if any (see
     /// [`BatchPolicy::deadline_seconds`]).
@@ -283,7 +294,7 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// A sweep of `variants` variants: chunked 64 at a time, no deadline,
+    /// A sweep of `variants` variants: 64 results in flight, no deadline,
     /// no injected faults, no cache.
     pub fn new(variants: usize) -> Self {
         Self {
@@ -295,7 +306,7 @@ impl SweepConfig {
         }
     }
 
-    /// Sets the chunk size (clamped to at least 1); returns `self`.
+    /// Sets the in-flight bound (clamped to at least 1); returns `self`.
     pub fn with_chunk(mut self, chunk: usize) -> Self {
         self.chunk = chunk.max(1);
         self
@@ -452,16 +463,121 @@ impl RobustnessReport {
     }
 }
 
+/// One variant's result, reduced to scalars on the worker that routed it.
+struct VariantItem {
+    index: usize,
+    outcome: VariantOutcome,
+}
+
+enum VariantOutcome {
+    Routed {
+        global_skew: f64,
+        intra_group_skew: f64,
+        wirelength: f64,
+    },
+    Failed {
+        kind: &'static str,
+        message: String,
+    },
+}
+
+/// Derives variant `index`, routes it under `policy`, and reduces the
+/// outcome to the three report scalars — the full tree (and the variant
+/// instance itself) drop here, on the routing worker, so only scalars
+/// ever cross the stream back to the accumulator.
+fn route_variant<R>(
+    nominal: &Instance,
+    spec: &PerturbationSpec,
+    policy: &BatchPolicy,
+    router: &R,
+    index: usize,
+) -> VariantItem
+where
+    R: ClockRouter + ?Sized,
+{
+    let outcome = match spec.variant(nominal, index) {
+        Ok(inst) => match crate::fleet::route_caught(router, &inst, index, policy) {
+            Ok(out) => VariantOutcome::Routed {
+                global_skew: out.report.global_skew(),
+                intra_group_skew: out.report.max_intra_group_skew(),
+                wirelength: out.report.wirelength(),
+            },
+            Err(e) => VariantOutcome::Failed {
+                kind: e.kind(),
+                message: e.to_string(),
+            },
+        },
+        // Unreachable with a pre-validated spec (see
+        // `PerturbationSpec::variant`); accounted per-variant so a
+        // mid-sweep surprise cannot lose the rest of the report.
+        Err(e) => VariantOutcome::Failed {
+            kind: e.kind(),
+            message: e.to_string(),
+        },
+    };
+    VariantItem { index, outcome }
+}
+
+/// The in-order accumulator behind a [`RobustnessReport`]. Pushes must
+/// arrive in ascending variant order: f64 summation is non-associative,
+/// so index-ordered accumulation is what keeps reports bit-identical at
+/// every thread count.
+#[derive(Default)]
+struct ReportAcc {
+    succeeded: usize,
+    failures: Vec<VariantFailure>,
+    global_skew: MetricAcc,
+    intra_group_skew: MetricAcc,
+    wirelength: MetricAcc,
+}
+
+impl ReportAcc {
+    fn push(&mut self, item: VariantItem) {
+        match item.outcome {
+            VariantOutcome::Routed {
+                global_skew,
+                intra_group_skew,
+                wirelength,
+            } => {
+                self.succeeded += 1;
+                self.global_skew.push(global_skew);
+                self.intra_group_skew.push(intra_group_skew);
+                self.wirelength.push(wirelength);
+            }
+            VariantOutcome::Failed { kind, message } => self.failures.push(VariantFailure {
+                variant: item.index,
+                kind,
+                message,
+            }),
+        }
+    }
+
+    fn finish(self, variants: usize) -> RobustnessReport {
+        RobustnessReport {
+            variants,
+            succeeded: self.succeeded,
+            failures: self.failures,
+            global_skew: self.global_skew.summary(),
+            intra_group_skew: self.intra_group_skew.summary(),
+            wirelength: self.wirelength.summary(),
+        }
+    }
+}
+
 /// Routes `config.variants` seeded perturbations of `nominal` through
 /// `router` and distills the outcome distributions; see the [module
 /// docs](self) for the determinism and memory contract.
 ///
-/// Variants fan out through the fleet layer chunk by chunk
-/// ([`SweepConfig::chunk`] at a time), each chunk scheduled largest-first
-/// by a fresh [`BatchPlan`] and routed under the config's deadline and
-/// fault policy. Failures — injected or genuine — consume their own
-/// variant's slot only; every other variant's metrics are bit-identical
-/// to a failure-free sweep.
+/// The fan-out is **barrier-free**: pool workers claim variant indices
+/// from a shared cursor, derive + route + reduce each variant, and stream
+/// the scalars to the accumulating caller through a channel bounded at
+/// [`SweepConfig::chunk`] results — no worker ever idles at a chunk
+/// boundary waiting for the slowest variant. The caller re-buffers
+/// out-of-order arrivals and accumulates strictly in variant order, so
+/// the report is bit-identical at every thread count and in-flight bound.
+/// Failures — injected or genuine — consume their own variant's slot
+/// only; every other variant's metrics are bit-identical to a
+/// failure-free sweep.
 ///
 /// # Errors
 ///
@@ -478,56 +594,73 @@ where
     R: ClockRouter + Sync + ?Sized,
 {
     spec.validate()?;
-    let chunk = config.chunk.max(1);
-    let mut failures = Vec::new();
-    let mut global_skew = MetricAcc::default();
-    let mut intra_group_skew = MetricAcc::default();
-    let mut wirelength = MetricAcc::default();
-    let mut succeeded = 0usize;
-
-    let mut policy = BatchPolicy {
+    let policy = BatchPolicy {
         deadline_seconds: config.deadline_seconds,
         faults: config.faults.clone(),
         index_offset: 0,
         cache: config.cache.clone(),
     };
-    let mut base = 0usize;
-    while base < config.variants {
-        let end = (base + chunk).min(config.variants);
-        let instances: Vec<Instance> = (base..end)
-            .map(|i| spec.variant(nominal, i))
-            .collect::<Result<_, _>>()?;
-        policy.index_offset = base;
-        let plan = BatchPlan::new(&instances);
-        let (results, _) = plan.route_with_policy(&instances, router, &policy);
-        for (offset, result) in results.into_iter().enumerate() {
-            match result {
-                Ok(outcome) => {
-                    succeeded += 1;
-                    global_skew.push(outcome.report.global_skew());
-                    intra_group_skew.push(outcome.report.max_intra_group_skew());
-                    wirelength.push(outcome.report.wirelength());
-                    // `outcome` (tree included) drops here: the sweep
-                    // retains scalars only.
-                }
-                Err(e) => failures.push(VariantFailure {
-                    variant: base + offset,
-                    kind: e.kind(),
-                    message: e.to_string(),
-                }),
-            }
+    let mut acc = ReportAcc::default();
+    // Minimum fan-out of 2 variants, like the fleet's batch path: one
+    // variant gains nothing from waking a helper.
+    let threads = astdme_par::fanout_threads(config.variants, 2);
+    if threads < 2 {
+        // Serial: derive and accumulate in variant order directly — the
+        // reference schedule the parallel path must reproduce bit for bit.
+        for index in 0..config.variants {
+            acc.push(route_variant(nominal, spec, &policy, router, index));
         }
-        base = end;
+    } else {
+        let in_flight = config.chunk.max(1);
+        let (tx, rx) = sync_channel::<VariantItem>(in_flight);
+        let cursor = AtomicUsize::new(0);
+        let work = |_slot: usize| {
+            let tx = tx.clone();
+            loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= config.variants {
+                    break;
+                }
+                if tx
+                    .send(route_variant(nominal, spec, &policy, router, index))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        };
+        let acc = &mut acc;
+        astdme_par::scope_with(threads, &work, |running| {
+            if running == 0 {
+                // Saturated pool, no helpers granted: produce inline off
+                // the same cursor (nobody else is claiming).
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= config.variants {
+                        break;
+                    }
+                    acc.push(route_variant(nominal, spec, &policy, router, index));
+                }
+                return;
+            }
+            // Consume in completion order, accumulate in index order: a
+            // small reorder buffer holds early arrivals until their
+            // predecessors land. Exactly `variants` items arrive in
+            // total (each index is claimed and delivered once), so the
+            // take() below never blocks on an exhausted stream.
+            let mut pending: BTreeMap<usize, VariantItem> = BTreeMap::new();
+            let mut next_index = 0usize;
+            for item in rx.iter().take(config.variants) {
+                pending.insert(item.index, item);
+                while let Some(item) = pending.remove(&next_index) {
+                    acc.push(item);
+                    next_index += 1;
+                }
+            }
+            debug_assert!(pending.is_empty(), "every variant accumulated");
+        });
     }
-
-    Ok(RobustnessReport {
-        variants: config.variants,
-        succeeded,
-        failures,
-        global_skew: global_skew.summary(),
-        intra_group_skew: intra_group_skew.summary(),
-        wirelength: wirelength.summary(),
-    })
+    Ok(acc.finish(config.variants))
 }
 
 #[cfg(test)]

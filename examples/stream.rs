@@ -1,0 +1,82 @@
+//! Streaming fleet routing: results in completion order, not batch order.
+//!
+//! `route_batch` is a barrier — nothing comes back until the slowest
+//! instance finishes. `route_stream` hands back the same outcomes as an
+//! iterator that yields each `(index, result)` the moment it completes,
+//! so a consumer (a tail of a CI pipeline, a routing service, a UI) can
+//! act on the easy nine tenths of a portfolio while the hard instance is
+//! still merging.
+//!
+//! The portfolio below is deliberately skewed: one large instance and a
+//! handful of small ones. The table prints outcomes in arrival order
+//! with two clocks per row — the instance's own routing time and the
+//! wall-clock moment it arrived at the consumer — and the footer
+//! compares time-to-first-result against the full drain (the batch
+//! barrier's wait).
+//!
+//! Run with: `cargo run --release --example stream`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use astdme::instances::{partition, synthetic_instance};
+use astdme::{route_stream, AstDme, Instance, StreamPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One heavy instance plus six light ones: the shape where a barrier
+    // wastes the most consumer time.
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (n, seed) in [
+        (1200usize, 41u64),
+        (150, 42),
+        (180, 43),
+        (160, 44),
+        (140, 45),
+        (170, 46),
+        (130, 47),
+    ] {
+        let placement = synthetic_instance(n, seed, &format!("stream-n{n}"));
+        let inst = partition::intermingled(&placement, 4, seed ^ 1)?;
+        instances.push(inst.with_groups(inst.groups().clone().with_uniform_bound(10e-12)?)?);
+        labels.push(format!("n={n}"));
+    }
+
+    let total = instances.len();
+    let started = Instant::now();
+    let stream = route_stream(
+        instances,
+        Arc::new(AstDme::new()),
+        StreamPolicy::new().with_in_flight(4),
+    );
+
+    println!("streaming {total} instances (completion order):");
+    println!("| arrival | instance | wirelen (um) | route (s) | arrived at (s) |");
+    println!("|---------|----------|--------------|-----------|----------------|");
+    let mut first_result = None;
+    for (arrival, (idx, result)) in stream.enumerate() {
+        let at = started.elapsed().as_secs_f64();
+        first_result.get_or_insert(at);
+        let out = result?;
+        println!(
+            "| {:>7} | {:<8} | {:>12.0} | {:>9.3} | {:>14.3} |",
+            arrival,
+            labels[idx],
+            out.report.wirelength(),
+            out.stats.total_seconds(),
+            at,
+        );
+    }
+    let drained = started.elapsed().as_secs_f64();
+
+    println!();
+    println!(
+        "time to first result: {:.3} s   full drain (= batch barrier wait): {:.3} s",
+        first_result.unwrap_or(drained),
+        drained
+    );
+    println!("Outcomes are bit-identical to `route_batch`; only the delivery");
+    println!("order differs. The schedule still runs costliest-first, so the");
+    println!("small instances stream out while the large one is in flight.");
+    Ok(())
+}
