@@ -862,6 +862,7 @@ fn route_batch_spawn_per_call(instances: &[Instance], router: &AstDme, threads: 
             .expect("no panics hold this lock")
             .push((idx, wl));
     };
+    // astdme-lint: allow(thread-spawn): harness contrasts raw OS threads against astdme_par's pooled fan-out
     std::thread::scope(|s| {
         let work = &work;
         for w in 1..threads {

@@ -92,10 +92,10 @@ pub fn merge_until_one_traced(
     // Phase timing is gated on the env var so the unprofiled hot loop pays
     // no clock reads (greedy runs one round per merge).
     let profile = std::env::var_os("ASTDME_PROFILE").is_some();
-    let clock = |on: bool| on.then(std::time::Instant::now);
-    let lap = |t: Option<std::time::Instant>, acc: &mut f64| {
+    let clock = |on: bool| on.then(crate::stopwatch::Stopwatch::start);
+    let lap = |t: Option<crate::stopwatch::Stopwatch>, acc: &mut f64| {
         if let Some(t) = t {
-            *acc += t.elapsed().as_secs_f64();
+            *acc += t.seconds();
         }
     };
     let (mut t_new, mut t_plan, mut t_engine, mut t_apply) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);

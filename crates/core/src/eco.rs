@@ -94,7 +94,7 @@
 //! # Ok::<(), astdme_core::RouteError>(())
 //! ```
 
-use std::time::Instant;
+use crate::stopwatch::Stopwatch;
 
 use astdme_cache::{region_fingerprint, CachedRegion, SubtreeCache};
 use astdme_delay::{DelayModel, RcParams};
@@ -306,7 +306,7 @@ impl EcoSession {
     /// or unknown group, and propagates routing errors. A failed flush
     /// discards the batch and leaves the standing route unchanged.
     pub fn flush(&mut self) -> Result<&RouteOutcome, RouteError> {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let edits = std::mem::take(&mut self.queue);
         let mut stats = EcoStats {
             edits: edits.len(),
@@ -314,14 +314,14 @@ impl EcoSession {
         };
         if edits.is_empty() {
             stats.noop = true;
-            stats.seconds = t0.elapsed().as_secs_f64();
+            stats.seconds = t0.seconds();
             self.last_flush = stats;
             return Ok(&self.outcome);
         }
         let edited = apply_edits(&self.inst, &edits)?;
         if instance_bits_equal(&edited, &self.inst) {
             stats.noop = true;
-            stats.seconds = t0.elapsed().as_secs_f64();
+            stats.seconds = t0.seconds();
             self.last_flush = stats;
             return Ok(&self.outcome);
         }
@@ -350,7 +350,7 @@ impl EcoSession {
         self.inst = edited;
         self.outcome = outcome;
         self.rec = rec;
-        stats.seconds = t0.elapsed().as_secs_f64();
+        stats.seconds = t0.seconds();
         self.last_flush = stats;
         Ok(&self.outcome)
     }
@@ -550,7 +550,7 @@ fn route_recorded(
     let mut stats = RouteStats::default();
 
     // Stage 1: group (and fingerprint, in the cached frame).
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let base = framed.as_ref().map_or(inst, |(norm, _, _)| norm);
     let fingerprint = framed
@@ -559,17 +559,17 @@ fn route_recorded(
     let regrouped = derive_grouping(base, plan)?;
     let routed_against = regrouped.unwrap_or_else(|| base.clone());
     let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-    stats.group.seconds = t0.elapsed().as_secs_f64();
+    stats.group.seconds = t0.seconds();
     stats.group.allocs = allocmeter::current().saturating_sub(a0);
 
     // Stage 2: plan/merge, recorded.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let mut forest = MergeForest::for_instance_with_model(&routed_against, model, plan.engine);
     let leaves = forest.leaves();
     let (root, trace, merges, rounds) = merge_until_one_recorded(&mut forest, leaves, &plan.topo);
     stats.merge = StageStats {
-        seconds: t0.elapsed().as_secs_f64(),
+        seconds: t0.seconds(),
         rounds: trace.rounds,
         merges: trace.merges,
         repair_iterations: 0,
@@ -577,14 +577,14 @@ fn route_recorded(
     };
 
     // Stage 3: embed.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let tree = forest.embed(root, routed_against.source());
-    stats.embed.seconds = t0.elapsed().as_secs_f64();
+    stats.embed.seconds = t0.seconds();
     stats.embed.allocs = allocmeter::current().saturating_sub(a0);
 
     // Stage 4: repair.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let tree = if forest.residual() <= plan.engine.skew_tol {
         tree
@@ -599,7 +599,7 @@ fn route_recorded(
         stats.repair.repair_iterations = repaired.iterations;
         repaired.tree
     };
-    stats.repair.seconds = t0.elapsed().as_secs_f64();
+    stats.repair.seconds = t0.seconds();
     stats.repair.allocs = allocmeter::current().saturating_sub(a0);
 
     // Final assembly: raw trees validate in place; cached-frame trees are
@@ -628,10 +628,10 @@ fn route_recorded(
     };
 
     // Stage 5: audit — always against the original instance.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let report = audit(&tree, inst, &model);
-    stats.audit.seconds = t0.elapsed().as_secs_f64();
+    stats.audit.seconds = t0.seconds();
     stats.audit.allocs = allocmeter::current().saturating_sub(a0);
 
     let recording = Recording {
@@ -710,7 +710,7 @@ fn try_replay(
     let mut rstats = RouteStats::default();
 
     // Stage 1: frame and group the edited instance like the recording.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let framed_owned;
     let mut anchor: Option<Point> = None;
@@ -754,17 +754,17 @@ fn try_replay(
         .map(|(a, b)| !sink_bits_equal(a, b))
         .collect();
     stats.dirty_sinks = dirty.iter().filter(|&&d| d).count();
-    rstats.group.seconds = t0.elapsed().as_secs_f64();
+    rstats.group.seconds = t0.seconds();
     rstats.group.allocs = allocmeter::current().saturating_sub(a0);
 
     // Stage 2: the replay proper.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let Some(rep) = replay_merges(rec, &routed_edited, model, plan, &dirty) else {
         return Ok(None);
     };
     rstats.merge = StageStats {
-        seconds: t0.elapsed().as_secs_f64(),
+        seconds: t0.seconds(),
         rounds: rep.trace.rounds,
         merges: rep.trace.merges,
         repair_iterations: 0,
@@ -776,14 +776,14 @@ fn try_replay(
     stats.planned_rounds = rep.planned_rounds;
 
     // Stage 3: embed.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let tree = rep.forest.embed(rep.root, routed_edited.source());
-    rstats.embed.seconds = t0.elapsed().as_secs_f64();
+    rstats.embed.seconds = t0.seconds();
     rstats.embed.allocs = allocmeter::current().saturating_sub(a0);
 
     // Stage 4: repair.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let tree = if rep.forest.residual() <= plan.engine.skew_tol {
         tree
@@ -798,7 +798,7 @@ fn try_replay(
         rstats.repair.repair_iterations = repaired.iterations;
         repaired.tree
     };
-    rstats.repair.seconds = t0.elapsed().as_secs_f64();
+    rstats.repair.seconds = t0.seconds();
     rstats.repair.allocs = allocmeter::current().saturating_sub(a0);
 
     // Assembly: cached-frame trees are captured, spliced, and inserted
@@ -827,10 +827,10 @@ fn try_replay(
     };
 
     // Stage 5: audit.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let report = audit(&tree, edited, &model);
-    rstats.audit.seconds = t0.elapsed().as_secs_f64();
+    rstats.audit.seconds = t0.seconds();
     rstats.audit.allocs = allocmeter::current().saturating_sub(a0);
 
     let recording = Recording {

@@ -28,9 +28,9 @@
 //! outcomes are bit-identical to a fault-free run (`tests/robustness.rs`
 //! pins this, and `RobustnessReport` accounting rides on it).
 
+use crate::stopwatch::Stopwatch;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use astdme_cache::SubtreeCache;
 
@@ -129,7 +129,7 @@ struct RouteCtx {
     /// Batch (or sweep variant) index, for error attribution.
     instance: usize,
     /// Wall-clock at installation — the deadline measures from here.
-    started: Instant,
+    started: Stopwatch,
     /// Per-instance budget in seconds, if any.
     deadline_seconds: Option<f64>,
     /// The fault injected into this instance, if any.
@@ -173,7 +173,7 @@ pub(crate) fn install(
     CTX.with(|c| {
         *c.borrow_mut() = Some(RouteCtx {
             instance,
-            started: Instant::now(),
+            started: Stopwatch::start(),
             deadline_seconds,
             fault,
             cache,
@@ -210,7 +210,7 @@ pub(crate) fn checkpoint(stage: StageId) -> Result<(), RouteError> {
         }
     }
     if let Some(budget) = deadline_seconds {
-        let elapsed = started.elapsed().as_secs_f64();
+        let elapsed = started.seconds();
         if elapsed > budget {
             return Err(RouteError::DeadlineExceeded {
                 instance,

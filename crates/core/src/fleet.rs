@@ -64,11 +64,11 @@
 //! unblocks any worker waiting to deliver — no joins, no deadlocks, no
 //! leaked work beyond the instances already being routed.
 
+use crate::stopwatch::Stopwatch;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use astdme_cache::{BoundedLru, SubtreeCache};
 use astdme_engine::Instance;
@@ -405,7 +405,7 @@ impl BatchPlan {
             // Serial: route in schedule order, scatter to input slots —
             // byte-for-byte the one-thread schedule the determinism tests
             // compare against.
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             for &idx in &self.order {
                 out[idx] = Some(route_caught(
                     router,
@@ -415,7 +415,7 @@ impl BatchPlan {
                 ));
             }
             StealStats {
-                worker_busy_seconds: vec![t0.elapsed().as_secs_f64()],
+                worker_busy_seconds: vec![t0.seconds()],
                 worker_items: vec![len],
                 worker_queue_wait_seconds: vec![0.0],
                 worker_idle_seconds: vec![0.0],
@@ -428,12 +428,12 @@ impl BatchPlan {
             // the barrier drains after the join).
             let (tx, rx) = std::sync::mpsc::channel();
             let cursor = AtomicUsize::new(0);
-            let submitted = Instant::now();
+            let submitted = Stopwatch::start();
             let clocks: Mutex<Vec<(f64, usize, f64, f64)>> = Mutex::new(Vec::new());
             let work = |_slot: usize| {
                 let tx = tx.clone();
-                let queue_wait = submitted.elapsed().as_secs_f64();
-                let t0 = Instant::now();
+                let queue_wait = submitted.seconds();
+                let t0 = Stopwatch::start();
                 let mut items = 0usize;
                 let mut item_seconds = 0.0f64;
                 loop {
@@ -442,16 +442,16 @@ impl BatchPlan {
                         break;
                     }
                     let idx = self.order[slot];
-                    let tb = Instant::now();
+                    let tb = Stopwatch::start();
                     let result =
                         route_caught(router, &instances[idx], idx + policy.index_offset, policy);
-                    item_seconds += tb.elapsed().as_secs_f64();
+                    item_seconds += tb.seconds();
                     items += 1;
                     if tx.send((idx, result)).is_err() {
                         break;
                     }
                 }
-                let busy = t0.elapsed().as_secs_f64();
+                let busy = t0.seconds();
                 clocks.lock().unwrap_or_else(|e| e.into_inner()).push((
                     busy,
                     items,

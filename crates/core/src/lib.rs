@@ -61,6 +61,7 @@ pub mod fleet;
 pub mod pipeline;
 pub mod robustness;
 mod routers;
+pub mod stopwatch;
 
 pub use drivers::{
     merge_until_one, merge_until_one_from_scratch, merge_until_one_traced, run_bottom_up,

@@ -22,9 +22,9 @@
 //! harnesses (the bench tables, the fleet layer, `examples/fleet.rs`) stop
 //! hand-timing routers from the outside.
 
+use crate::stopwatch::Stopwatch;
 use core::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 use astdme_cache::{region_fingerprint, CachedRegion, SubtreeCache};
 use astdme_delay::DelayModel;
@@ -324,22 +324,22 @@ fn run_uncached(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, Route
     let mut stats = RouteStats::default();
 
     // Stage 1: group.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let regrouped = derive_grouping(inst, plan)?;
     let routed_against = regrouped.as_ref().unwrap_or(inst);
     let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-    stats.group.seconds = t0.elapsed().as_secs_f64();
+    stats.group.seconds = t0.seconds();
     stats.group.allocs = allocmeter::current().saturating_sub(a0);
     fault::checkpoint(StageId::Group)?;
 
     // Stage 2: plan/merge.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let mut forest = MergeForest::for_instance_with_model(routed_against, model, plan.engine);
     let (root, trace) = merge_stage(&mut forest, inst, plan);
     stats.merge = StageStats {
-        seconds: t0.elapsed().as_secs_f64(),
+        seconds: t0.seconds(),
         rounds: trace.rounds,
         merges: trace.merges,
         repair_iterations: 0,
@@ -348,10 +348,10 @@ fn run_uncached(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, Route
     fault::checkpoint(StageId::Merge)?;
 
     // Stage 3: embed.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let tree = forest.embed(root, routed_against.source());
-    stats.embed.seconds = t0.elapsed().as_secs_f64();
+    stats.embed.seconds = t0.seconds();
     stats.embed.allocs = allocmeter::current().saturating_sub(a0);
     let tree = corrupt_if_requested(tree, StageId::Embed);
     fault::checkpoint(StageId::Embed)?;
@@ -359,7 +359,7 @@ fn run_uncached(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, Route
     // Stage 4: repair. The pass snakes leaf edges when a deep offset
     // conflict left residual skew (see [`repair_group_skew`]); on cleanly
     // solved instances it is skipped outright.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let tree = if forest.residual() <= plan.engine.skew_tol {
         tree
@@ -374,7 +374,7 @@ fn run_uncached(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, Route
         stats.repair.repair_iterations = repaired.iterations;
         repaired.tree
     };
-    stats.repair.seconds = t0.elapsed().as_secs_f64();
+    stats.repair.seconds = t0.seconds();
     stats.repair.allocs = allocmeter::current().saturating_sub(a0);
     let tree = corrupt_if_requested(tree, StageId::Repair);
     fault::checkpoint(StageId::Repair)?;
@@ -389,10 +389,10 @@ fn run_uncached(inst: &Instance, plan: &StagePlan) -> Result<RouteOutcome, Route
     // Stage 5: audit — against the *original* instance, so the report's
     // per-group skews refer to the groups the caller asked about, not a
     // relaxed routing surrogate.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let report = audit(&tree, inst, &model);
-    stats.audit.seconds = t0.elapsed().as_secs_f64();
+    stats.audit.seconds = t0.seconds();
     stats.audit.allocs = allocmeter::current().saturating_sub(a0);
     fault::checkpoint(StageId::Audit)?;
 
@@ -464,7 +464,7 @@ pub fn run_with_cache(
     // minimum corner; subtracting a coordinate from itself is exactly
     // +0.0, so an instance already anchored at the origin normalizes to
     // itself bit for bit.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let bb = inst.bounding_box();
     let (ax, ay) = (bb.x0(), bb.y0());
@@ -475,13 +475,13 @@ pub fn run_with_cache(
     let regrouped = derive_grouping(&norm, plan)?;
     let routed_against = regrouped.as_ref().unwrap_or(&norm);
     let model = plan.model.unwrap_or(DelayModel::elmore(*inst.rc()));
-    stats.group.seconds = t0.elapsed().as_secs_f64();
+    stats.group.seconds = t0.seconds();
     stats.group.allocs = allocmeter::current().saturating_sub(a0);
     fault::checkpoint(StageId::Group)?;
 
     // Stage 2: plan/merge — satisfied by a verified cache hit, or routed
     // fresh on the normalized instance.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     enum MergePhase {
         Hit(Arc<CachedRegion>),
@@ -516,7 +516,7 @@ pub fn run_with_cache(
             }
         }
     };
-    stats.merge.seconds = t0.elapsed().as_secs_f64();
+    stats.merge.seconds = t0.seconds();
     stats.merge.allocs = allocmeter::current().saturating_sub(a0);
     fault::checkpoint(StageId::Merge)?;
 
@@ -524,7 +524,7 @@ pub fn run_with_cache(
     // *are* the embedded subtree). Corruption injected at this stage or
     // the next poisons the final spliced tree below, exactly like the
     // uncached path's output.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     enum EmbedPhase {
         Hit(Arc<CachedRegion>),
@@ -549,13 +549,13 @@ pub fn run_with_cache(
             }
         }
     };
-    stats.embed.seconds = t0.elapsed().as_secs_f64();
+    stats.embed.seconds = t0.seconds();
     stats.embed.allocs = allocmeter::current().saturating_sub(a0);
     let mut corrupt = fault::corrupt_requested(StageId::Embed);
     fault::checkpoint(StageId::Embed)?;
 
     // Stage 4: repair, then capture the normalized region.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let planned = match embedded {
         EmbedPhase::Hit(region) => {
@@ -590,7 +590,7 @@ pub fn run_with_cache(
             })
         }
     };
-    stats.repair.seconds = t0.elapsed().as_secs_f64();
+    stats.repair.seconds = t0.seconds();
     stats.repair.allocs = allocmeter::current().saturating_sub(a0);
     corrupt = corrupt || fault::corrupt_requested(StageId::Repair);
     fault::checkpoint(StageId::Repair)?;
@@ -611,10 +611,10 @@ pub fn run_with_cache(
 
     // Stage 5: audit — always fresh, always against the original
     // instance. Cache hits reuse geometry, never verdicts.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let a0 = allocmeter::current();
     let report = audit(&tree, inst, &model);
-    stats.audit.seconds = t0.elapsed().as_secs_f64();
+    stats.audit.seconds = t0.seconds();
     stats.audit.allocs = allocmeter::current().saturating_sub(a0);
     fault::checkpoint(StageId::Audit)?;
 

@@ -106,14 +106,19 @@ impl MergeCtx<'_> {
                 .iter()
                 .filter_map(|(g, w)| {
                     let (lo, hi) = (w.lo() - delta_hat, w.hi() - delta_hat);
-                    let s = if lo > 0.0 {
-                        lo
+                    // Nearest point of (W_g - δ̂) to zero; a window that
+                    // already covers δ̂ needs no shift. Branching directly
+                    // keeps the selection free of raw float equality
+                    // (astdme_lint's float-eq rule) without changing a bit:
+                    // the old form computed s = 0.0 for the covering case
+                    // and filtered it with `s != 0.0`.
+                    if lo > 0.0 {
+                        Some((*g, lo))
                     } else if hi < 0.0 {
-                        hi
+                        Some((*g, hi))
                     } else {
-                        0.0
-                    };
-                    (s != 0.0).then_some((*g, s))
+                        None
+                    }
                 })
                 .collect();
             if targets.is_empty() {

@@ -1,0 +1,147 @@
+//! Rule `dep-audit`: every dependency in every workspace manifest must
+//! resolve by `path` (or inherit a `path` entry via `workspace = true`) —
+//! no registry versions, no git URLs, no `[patch]` redirection. The
+//! vendored shims exist precisely so the build never touches a network.
+//!
+//! The parser is a deliberately minimal line-oriented TOML subset: table
+//! headers, `key = value` pairs, `#` comments. That covers every manifest
+//! in this workspace; anything the subset cannot prove safe is reported
+//! rather than ignored.
+
+use crate::Diagnostic;
+
+/// Table names whose entries are dependency specifications.
+fn is_dep_table(section: &str) -> bool {
+    section == "workspace.dependencies"
+        || section.rsplit('.').next().is_some_and(|last| {
+            matches!(
+                last,
+                "dependencies" | "dev-dependencies" | "build-dependencies"
+            )
+        }) && !section.starts_with("package")
+}
+
+/// Whether `section` is a *single-dependency* table like
+/// `[dependencies.foo]` (keys accumulate until the next header).
+fn dep_table_entry(section: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(name) = section.strip_prefix(prefix) {
+            return Some(name);
+        }
+    }
+    section.strip_prefix("workspace.dependencies.").or_else(|| {
+        section
+            .strip_prefix("target.")
+            .and_then(|rest| rest.split_once(".dependencies."))
+            .map(|(_, name)| name)
+    })
+}
+
+/// Audits one `Cargo.toml`. `rel_path` is workspace-relative.
+pub fn check_manifest(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut section = String::new();
+    // `[dependencies.foo]`-style table being accumulated:
+    // (name, header line, saw path/workspace key, saw git/version key).
+    let mut open_table: Option<(String, usize, bool, bool)> = None;
+    let close_table = |t: &mut Option<(String, usize, bool, bool)>, diags: &mut Vec<Diagnostic>| {
+        if let Some((name, line, ok, banned)) = t.take() {
+            if banned || !ok {
+                diags.push(Diagnostic::new(
+                    "dep-audit",
+                    rel_path,
+                    line,
+                    format!("dependency `{name}` must be a `path` dependency (no registry or git)"),
+                ));
+            }
+        }
+    };
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            close_table(&mut open_table, &mut diags);
+            section = rest
+                .trim_end_matches(']')
+                .trim_matches(|c| c == '[' || c == ']')
+                .replace(['"', '\''], "");
+            if section.starts_with("patch") {
+                diags.push(Diagnostic::new(
+                    "dep-audit",
+                    rel_path,
+                    line_no,
+                    "`[patch]` sections redirect registries and are not allowed".into(),
+                ));
+            }
+            if let Some(name) = dep_table_entry(&section) {
+                open_table = Some((name.to_string(), line_no, false, false));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if let Some(t) = open_table.as_mut() {
+            match key {
+                "path" => t.2 = true,
+                "workspace" if value == "true" => t.2 = true,
+                "git" | "registry" | "version" => t.3 = true,
+                _ => {}
+            }
+            continue;
+        }
+        if !is_dep_table(&section) {
+            continue;
+        }
+        let ok = if value.starts_with('{') {
+            let has_source = value.contains("path") || value.contains("workspace = true");
+            let banned = value.contains("git") || value.contains("registry");
+            has_source && !banned
+        } else {
+            // `foo = "1.0"` and any other bare form are registry lookups.
+            false
+        };
+        if !ok {
+            diags.push(Diagnostic::new(
+                "dep-audit",
+                rel_path,
+                line_no,
+                format!(
+                    "dependency `{key}` must be a `path` dependency (or `workspace = true` \
+                     inheriting one); registry/git sources are not allowed"
+                ),
+            ));
+        }
+    }
+    close_table(&mut open_table, &mut diags);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[dependencies]\nfoo = { path = \"../foo\" }\nbar = { workspace = true }\n\n[dev-dependencies]\nbaz = { path = \"../baz\", features = [\"std\"] }\n";
+        assert!(check_manifest("crates/x/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn registry_git_and_patch_fail() {
+        let src = "[dependencies]\nserde = \"1.0\"\nrayon = { version = \"1.8\" }\nrepo = { git = \"https://example.com/x\" }\n\n[patch.crates-io]\nfoo = { path = \"ok\" }\n\n[dependencies.tokio]\nversion = \"1\"\n";
+        let diags = check_manifest("Cargo.toml", src);
+        assert_eq!(diags.len(), 5);
+        assert!(diags.iter().all(|d| d.rule == "dep-audit"));
+    }
+
+    #[test]
+    fn package_version_keys_are_not_dependencies() {
+        let src = "[package]\nversion = \"0.1.0\"\n\n[workspace.package]\nversion = \"0.1.0\"\n";
+        assert!(check_manifest("Cargo.toml", src).is_empty());
+    }
+}

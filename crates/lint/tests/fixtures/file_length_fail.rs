@@ -1,0 +1,506 @@
+//! Synthetic over-length module: 168 generated no-op functions.
+
+fn pad_000() {
+    let _ = 0;
+}
+fn pad_001() {
+    let _ = 1;
+}
+fn pad_002() {
+    let _ = 2;
+}
+fn pad_003() {
+    let _ = 3;
+}
+fn pad_004() {
+    let _ = 4;
+}
+fn pad_005() {
+    let _ = 5;
+}
+fn pad_006() {
+    let _ = 6;
+}
+fn pad_007() {
+    let _ = 7;
+}
+fn pad_008() {
+    let _ = 8;
+}
+fn pad_009() {
+    let _ = 9;
+}
+fn pad_010() {
+    let _ = 10;
+}
+fn pad_011() {
+    let _ = 11;
+}
+fn pad_012() {
+    let _ = 12;
+}
+fn pad_013() {
+    let _ = 13;
+}
+fn pad_014() {
+    let _ = 14;
+}
+fn pad_015() {
+    let _ = 15;
+}
+fn pad_016() {
+    let _ = 16;
+}
+fn pad_017() {
+    let _ = 17;
+}
+fn pad_018() {
+    let _ = 18;
+}
+fn pad_019() {
+    let _ = 19;
+}
+fn pad_020() {
+    let _ = 20;
+}
+fn pad_021() {
+    let _ = 21;
+}
+fn pad_022() {
+    let _ = 22;
+}
+fn pad_023() {
+    let _ = 23;
+}
+fn pad_024() {
+    let _ = 24;
+}
+fn pad_025() {
+    let _ = 25;
+}
+fn pad_026() {
+    let _ = 26;
+}
+fn pad_027() {
+    let _ = 27;
+}
+fn pad_028() {
+    let _ = 28;
+}
+fn pad_029() {
+    let _ = 29;
+}
+fn pad_030() {
+    let _ = 30;
+}
+fn pad_031() {
+    let _ = 31;
+}
+fn pad_032() {
+    let _ = 32;
+}
+fn pad_033() {
+    let _ = 33;
+}
+fn pad_034() {
+    let _ = 34;
+}
+fn pad_035() {
+    let _ = 35;
+}
+fn pad_036() {
+    let _ = 36;
+}
+fn pad_037() {
+    let _ = 37;
+}
+fn pad_038() {
+    let _ = 38;
+}
+fn pad_039() {
+    let _ = 39;
+}
+fn pad_040() {
+    let _ = 40;
+}
+fn pad_041() {
+    let _ = 41;
+}
+fn pad_042() {
+    let _ = 42;
+}
+fn pad_043() {
+    let _ = 43;
+}
+fn pad_044() {
+    let _ = 44;
+}
+fn pad_045() {
+    let _ = 45;
+}
+fn pad_046() {
+    let _ = 46;
+}
+fn pad_047() {
+    let _ = 47;
+}
+fn pad_048() {
+    let _ = 48;
+}
+fn pad_049() {
+    let _ = 49;
+}
+fn pad_050() {
+    let _ = 50;
+}
+fn pad_051() {
+    let _ = 51;
+}
+fn pad_052() {
+    let _ = 52;
+}
+fn pad_053() {
+    let _ = 53;
+}
+fn pad_054() {
+    let _ = 54;
+}
+fn pad_055() {
+    let _ = 55;
+}
+fn pad_056() {
+    let _ = 56;
+}
+fn pad_057() {
+    let _ = 57;
+}
+fn pad_058() {
+    let _ = 58;
+}
+fn pad_059() {
+    let _ = 59;
+}
+fn pad_060() {
+    let _ = 60;
+}
+fn pad_061() {
+    let _ = 61;
+}
+fn pad_062() {
+    let _ = 62;
+}
+fn pad_063() {
+    let _ = 63;
+}
+fn pad_064() {
+    let _ = 64;
+}
+fn pad_065() {
+    let _ = 65;
+}
+fn pad_066() {
+    let _ = 66;
+}
+fn pad_067() {
+    let _ = 67;
+}
+fn pad_068() {
+    let _ = 68;
+}
+fn pad_069() {
+    let _ = 69;
+}
+fn pad_070() {
+    let _ = 70;
+}
+fn pad_071() {
+    let _ = 71;
+}
+fn pad_072() {
+    let _ = 72;
+}
+fn pad_073() {
+    let _ = 73;
+}
+fn pad_074() {
+    let _ = 74;
+}
+fn pad_075() {
+    let _ = 75;
+}
+fn pad_076() {
+    let _ = 76;
+}
+fn pad_077() {
+    let _ = 77;
+}
+fn pad_078() {
+    let _ = 78;
+}
+fn pad_079() {
+    let _ = 79;
+}
+fn pad_080() {
+    let _ = 80;
+}
+fn pad_081() {
+    let _ = 81;
+}
+fn pad_082() {
+    let _ = 82;
+}
+fn pad_083() {
+    let _ = 83;
+}
+fn pad_084() {
+    let _ = 84;
+}
+fn pad_085() {
+    let _ = 85;
+}
+fn pad_086() {
+    let _ = 86;
+}
+fn pad_087() {
+    let _ = 87;
+}
+fn pad_088() {
+    let _ = 88;
+}
+fn pad_089() {
+    let _ = 89;
+}
+fn pad_090() {
+    let _ = 90;
+}
+fn pad_091() {
+    let _ = 91;
+}
+fn pad_092() {
+    let _ = 92;
+}
+fn pad_093() {
+    let _ = 93;
+}
+fn pad_094() {
+    let _ = 94;
+}
+fn pad_095() {
+    let _ = 95;
+}
+fn pad_096() {
+    let _ = 96;
+}
+fn pad_097() {
+    let _ = 97;
+}
+fn pad_098() {
+    let _ = 98;
+}
+fn pad_099() {
+    let _ = 99;
+}
+fn pad_100() {
+    let _ = 100;
+}
+fn pad_101() {
+    let _ = 101;
+}
+fn pad_102() {
+    let _ = 102;
+}
+fn pad_103() {
+    let _ = 103;
+}
+fn pad_104() {
+    let _ = 104;
+}
+fn pad_105() {
+    let _ = 105;
+}
+fn pad_106() {
+    let _ = 106;
+}
+fn pad_107() {
+    let _ = 107;
+}
+fn pad_108() {
+    let _ = 108;
+}
+fn pad_109() {
+    let _ = 109;
+}
+fn pad_110() {
+    let _ = 110;
+}
+fn pad_111() {
+    let _ = 111;
+}
+fn pad_112() {
+    let _ = 112;
+}
+fn pad_113() {
+    let _ = 113;
+}
+fn pad_114() {
+    let _ = 114;
+}
+fn pad_115() {
+    let _ = 115;
+}
+fn pad_116() {
+    let _ = 116;
+}
+fn pad_117() {
+    let _ = 117;
+}
+fn pad_118() {
+    let _ = 118;
+}
+fn pad_119() {
+    let _ = 119;
+}
+fn pad_120() {
+    let _ = 120;
+}
+fn pad_121() {
+    let _ = 121;
+}
+fn pad_122() {
+    let _ = 122;
+}
+fn pad_123() {
+    let _ = 123;
+}
+fn pad_124() {
+    let _ = 124;
+}
+fn pad_125() {
+    let _ = 125;
+}
+fn pad_126() {
+    let _ = 126;
+}
+fn pad_127() {
+    let _ = 127;
+}
+fn pad_128() {
+    let _ = 128;
+}
+fn pad_129() {
+    let _ = 129;
+}
+fn pad_130() {
+    let _ = 130;
+}
+fn pad_131() {
+    let _ = 131;
+}
+fn pad_132() {
+    let _ = 132;
+}
+fn pad_133() {
+    let _ = 133;
+}
+fn pad_134() {
+    let _ = 134;
+}
+fn pad_135() {
+    let _ = 135;
+}
+fn pad_136() {
+    let _ = 136;
+}
+fn pad_137() {
+    let _ = 137;
+}
+fn pad_138() {
+    let _ = 138;
+}
+fn pad_139() {
+    let _ = 139;
+}
+fn pad_140() {
+    let _ = 140;
+}
+fn pad_141() {
+    let _ = 141;
+}
+fn pad_142() {
+    let _ = 142;
+}
+fn pad_143() {
+    let _ = 143;
+}
+fn pad_144() {
+    let _ = 144;
+}
+fn pad_145() {
+    let _ = 145;
+}
+fn pad_146() {
+    let _ = 146;
+}
+fn pad_147() {
+    let _ = 147;
+}
+fn pad_148() {
+    let _ = 148;
+}
+fn pad_149() {
+    let _ = 149;
+}
+fn pad_150() {
+    let _ = 150;
+}
+fn pad_151() {
+    let _ = 151;
+}
+fn pad_152() {
+    let _ = 152;
+}
+fn pad_153() {
+    let _ = 153;
+}
+fn pad_154() {
+    let _ = 154;
+}
+fn pad_155() {
+    let _ = 155;
+}
+fn pad_156() {
+    let _ = 156;
+}
+fn pad_157() {
+    let _ = 157;
+}
+fn pad_158() {
+    let _ = 158;
+}
+fn pad_159() {
+    let _ = 159;
+}
+fn pad_160() {
+    let _ = 160;
+}
+fn pad_161() {
+    let _ = 161;
+}
+fn pad_162() {
+    let _ = 162;
+}
+fn pad_163() {
+    let _ = 163;
+}
+fn pad_164() {
+    let _ = 164;
+}
+fn pad_165() {
+    let _ = 165;
+}
+fn pad_166() {
+    let _ = 166;
+}
+fn pad_167() {
+    let _ = 167;
+}

@@ -1,0 +1,6 @@
+fn demo(x: f64, y: f64) -> bool {
+    if x == 0.0 {
+        return true;
+    }
+    y != 1.5 || x == f64::INFINITY
+}

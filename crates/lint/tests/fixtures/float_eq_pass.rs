@@ -1,0 +1,8 @@
+use std::cmp::Ordering;
+
+fn demo(x: f64, y: f64) -> bool {
+    if x.total_cmp(&0.0) == Ordering::Equal {
+        return true;
+    }
+    y.to_bits() != 1.5f64.to_bits()
+}

@@ -1,0 +1,16 @@
+use std::collections::{HashMap, HashSet};
+
+fn demo() -> f64 {
+    let weights: HashMap<u32, f64> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(1);
+    let mut total = 0.0;
+    for k in weights.keys() {
+        total += *k as f64;
+    }
+    for v in &seen {
+        total += *v as f64;
+    }
+    total += weights.values().sum::<f64>();
+    total
+}

@@ -1,0 +1,16 @@
+use std::collections::{HashMap, HashSet};
+
+fn demo(keys: &[u32]) -> f64 {
+    let weights: HashMap<u32, f64> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(1);
+    // Membership and point lookups are order-free; iteration goes over a
+    // sorted key list the caller owns.
+    let mut total = 0.0;
+    for k in keys {
+        if seen.contains(k) {
+            total += weights.get(k).copied().unwrap_or(0.0);
+        }
+    }
+    total
+}

@@ -1,0 +1,7 @@
+fn demo() -> f64 {
+    // astdme-lint: allow(wall-clock):
+    let t = std::time::Instant::now();
+    // astdme-lint: allow(no-such-rule): not a real rule id
+    // astdme-lint: this is not even the allow form
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,5 @@
+fn demo() -> f64 {
+    // astdme-lint: allow(wall-clock): fixture demonstrating a justified pragma
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64() // astdme-lint: allow(wall-clock): same-line form
+}

@@ -1,0 +1,8 @@
+fn demo() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    let _b = std::thread::Builder::new();
+}

@@ -1,0 +1,5 @@
+fn demo() {
+    // Backoff sleeps are fine; only *creating* threads is fenced.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    std::thread::yield_now();
+}

@@ -1,0 +1,3 @@
+fn demo(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,3 @@
+fn demo(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+fn demo() -> f64 {
+    let t = Instant::now();
+    let _epoch = SystemTime::now();
+    t.elapsed().as_secs_f64()
+}

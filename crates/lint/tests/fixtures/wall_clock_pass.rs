@@ -1,0 +1,7 @@
+fn demo() -> f64 {
+    let t = astdme_core::stopwatch::Stopwatch::start();
+    expensive();
+    t.seconds()
+}
+
+fn expensive() {}

@@ -1,0 +1,199 @@
+//! Bucketed neighbor index over subtree root regions.
+
+use astdme_geom::{Point, Trr};
+
+/// A uniform-grid index over region center points, answering approximate
+/// nearest-neighbor queries by exact region distance.
+///
+/// Regions are bucketed by center into a **flat dense cell array** (row
+/// major over the build-time bounding box — a cell visit is an array index,
+/// never a hash); queries expand rings of cells outward and stop once no
+/// unvisited cell can beat the best exact distance found (accounting for
+/// region extents). Items inserted after the build whose center falls
+/// outside the original box are clamped into the border cells, which only
+/// ever *under*-estimates their ring distance — conservative, so queries
+/// stay exact. Used by the merge planners to avoid all-pairs scans.
+///
+/// ```
+/// use astdme_geom::{Point, Trr};
+/// use astdme_topo::GridIndex;
+///
+/// let items = vec![
+///     (7, Trr::from_point(Point::new(0.0, 0.0))),
+///     (9, Trr::from_point(Point::new(10.0, 0.0))),
+///     (4, Trr::from_point(Point::new(100.0, 100.0))),
+/// ];
+/// let idx = GridIndex::build(&items);
+/// let (nn, d) = idx.nearest(7, &items[0].1).unwrap();
+/// assert_eq!(nn, 9);
+/// assert_eq!(d, 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    /// Row-major `(grid_w × grid_h)` cells.
+    cells: Vec<Vec<(usize, Trr)>>,
+    /// Largest region diameter per cell (conservative: never shrunk on
+    /// removal). Ring walks prune whole cells against this before touching
+    /// their items, so one huge region only taxes queries near *its* cell,
+    /// not the `max_extent` bound of every query in the index.
+    cell_exts: Vec<f64>,
+    /// Per-cell caller-attached caps ([`GridIndex::note_cap`]; zero until
+    /// noted, reset by `build`). The incremental planner notes each
+    /// entry's cached nearest-neighbor distance here, which lets
+    /// [`GridIndex::neighbors_within_capped`] skip cells whose entries all
+    /// hold caches tighter than their distance to the query — the
+    /// neighbor-takeover scan then pays for the query's *local*
+    /// neighborhood instead of the global worst cache.
+    cell_caps: Vec<f64>,
+    grid_w: i64,
+    grid_h: i64,
+    cell_size: f64,
+    origin: Point,
+    max_extent: f64,
+    len: usize,
+    // Populated cell bounds (conservative: never shrunk on removal).
+    cell_min: (i64, i64),
+    cell_max: (i64, i64),
+}
+
+mod query;
+
+#[cfg(test)]
+mod tests;
+
+impl GridIndex {
+    /// Builds an index over `(key, region)` items.
+    ///
+    /// Keys must be unique; duplicates make `nearest` results ambiguous.
+    pub fn build(items: &[(usize, Trr)]) -> Self {
+        let n = items.len().max(1);
+        let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+        for (_, t) in items {
+            let c = t.center();
+            x0 = x0.min(c.x);
+            y0 = y0.min(c.y);
+            x1 = x1.max(c.x);
+            y1 = y1.max(c.y);
+        }
+        if items.is_empty() {
+            (x0, y0, x1, y1) = (0.0, 0.0, 1.0, 1.0);
+        }
+        // ~1-2 items per cell on average; for degenerate (e.g. collinear)
+        // layouts the area underestimates spacing badly, so also respect
+        // the per-axis average spacing, and never go below a sane floor.
+        let (w, h) = (x1 - x0, y1 - y0);
+        let cell_size = (w * h / n as f64)
+            .sqrt()
+            .max(w / n as f64)
+            .max(h / n as f64)
+            .max(1e-9 * (1.0 + w.max(h)))
+            .max(1e-9);
+        let max_extent = items
+            .iter()
+            .map(|(_, t)| t.diameter())
+            .fold(0.0f64, f64::max);
+        let grid_w = ((w / cell_size).floor() as i64 + 1).max(1);
+        let grid_h = ((h / cell_size).floor() as i64 + 1).max(1);
+        let mut g = Self {
+            cells: vec![Vec::new(); (grid_w * grid_h) as usize],
+            cell_exts: vec![0.0; (grid_w * grid_h) as usize],
+            cell_caps: vec![0.0; (grid_w * grid_h) as usize],
+            grid_w,
+            grid_h,
+            cell_size,
+            origin: Point::new(x0, y0),
+            max_extent,
+            len: 0,
+            cell_min: (i64::MAX, i64::MAX),
+            cell_max: (i64::MIN, i64::MIN),
+        };
+        for (key, trr) in items {
+            g.insert(*key, *trr);
+        }
+        g
+    }
+
+    /// The cell coordinates of `p`, clamped into the dense array. Clamping
+    /// moves a cell *toward* any query center, so ring lower bounds only
+    /// under-estimate — conservative for exactness.
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        let cx = ((p.x - self.origin.x) / self.cell_size).floor() as i64;
+        let cy = ((p.y - self.origin.y) / self.cell_size).floor() as i64;
+        (cx.clamp(0, self.grid_w - 1), cy.clamp(0, self.grid_h - 1))
+    }
+
+    /// The items of cell `(cx, cy)` together with the cell's extent bound,
+    /// or `None` when the cell is outside the grid or empty.
+    #[inline]
+    fn slot(&self, cx: i64, cy: i64) -> Option<(&[(usize, Trr)], f64)> {
+        if cx < 0 || cy < 0 || cx >= self.grid_w || cy >= self.grid_h {
+            return None;
+        }
+        let i = (cy * self.grid_w + cx) as usize;
+        if self.cells[i].is_empty() {
+            return None;
+        }
+        Some((&self.cells[i], self.cell_exts[i]))
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, key: usize, region: Trr) {
+        self.max_extent = self.max_extent.max(region.diameter());
+        let cell = self.cell_of(region.center());
+        self.cell_min = (self.cell_min.0.min(cell.0), self.cell_min.1.min(cell.1));
+        self.cell_max = (self.cell_max.0.max(cell.0), self.cell_max.1.max(cell.1));
+        let i = (cell.1 * self.grid_w + cell.0) as usize;
+        self.cells[i].push((key, region));
+        self.cell_exts[i] = self.cell_exts[i].max(region.diameter());
+        self.len += 1;
+    }
+
+    /// Removes an item by key; returns `true` if it was present.
+    pub fn remove(&mut self, key: usize, region: &Trr) -> bool {
+        let cell = self.cell_of(region.center());
+        let v = &mut self.cells[(cell.1 * self.grid_w + cell.0) as usize];
+        if let Some(i) = v.iter().position(|(k, _)| *k == key) {
+            v.swap_remove(i);
+            self.len -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The largest region diameter ever inserted (conservative: never
+    /// shrunk on removal). Query ring bounds derive from it, so callers
+    /// maintaining an index long-term (the incremental planner) watch this
+    /// to decide when a rebuild pays off.
+    pub fn max_extent(&self) -> f64 {
+        self.max_extent
+    }
+
+    /// The cell edge length: the scale against which region extents are
+    /// "large" for this index (ring walks lengthen once extents pass it).
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Returns `true` if the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raises the cap of the cell containing `region`'s center to at least
+    /// `value` (see [`GridIndex::neighbors_within_capped`]). Caps only
+    /// ever grow between builds — conservative under removals and
+    /// re-pointed caches — and `build` resets them to zero, so long-lived
+    /// callers must re-note after a rebuild.
+    pub fn note_cap(&mut self, region: &Trr, value: f64) {
+        let cell = self.cell_of(region.center());
+        let i = (cell.1 * self.grid_w + cell.0) as usize;
+        if value > self.cell_caps[i] {
+            self.cell_caps[i] = value;
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Ring-walk queries over the [`GridIndex`]: exact nearest-neighbor and
+//! bounded neighborhood visits. Split from the index maintenance in
+//! `mod.rs`; the ring visit order is part of the planner's deterministic
+//! tie-breaking (see [`for_ring_cells`]).
+
+use astdme_geom::Trr;
+
+use super::GridIndex;
+
+impl GridIndex {
+    /// The nearest other item to `region` (excluding `key` itself), by
+    /// exact region distance, or `None` if the index has no other items.
+    pub fn nearest(&self, key: usize, region: &Trr) -> Option<(usize, f64)> {
+        self.nearest_with_hint(key, region, None)
+    }
+
+    /// [`GridIndex::nearest`] seeded with a known item and its exact
+    /// region distance (it must currently be stored in the index): ring
+    /// expansion prunes against the hint from the start, so callers that
+    /// already hold a good candidate — the incremental planner refreshing
+    /// a surviving neighbor cache — pay only the cells that could beat it.
+    /// Ties resolve toward the hint (a strictly closer item replaces it).
+    pub fn nearest_with_hint(
+        &self,
+        key: usize,
+        region: &Trr,
+        hint: Option<(usize, f64)>,
+    ) -> Option<(usize, f64)> {
+        if self.len <= 1 {
+            return None;
+        }
+        let center_cell = self.cell_of(region.center());
+        // Every populated cell lies within Chebyshev distance `max_ring` of
+        // the query cell, so rings beyond it cannot contain items.
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        let mut best: Option<(usize, f64)> = hint;
+        for ring in 0..=max_ring {
+            // Lower bound on distance for items in this ring: their center
+            // is at least (ring - 1) cells away (center-to-center L1 is at
+            // least the per-axis gap); region distance trims at most half
+            // of each diameter off that.
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
+            if let Some((_, d)) = best {
+                if d <= ring_lb {
+                    break;
+                }
+            }
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
+                };
+                // The same bound with the cell's own extent: a far-away
+                // huge region cannot force item scans here.
+                if let Some((_, d)) = best {
+                    if d <= base - 0.5 * (ext + region.diameter()) {
+                        return;
+                    }
+                }
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((*k, d));
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// The nearest other item to `region` at exact region distance
+    /// *strictly below* `bound`, or `None` when nothing beats the bound.
+    /// Ring expansion prunes against `bound` from the start, so a tight
+    /// bound touches only a handful of cells — the incremental planner
+    /// checks every surviving neighbor cache against a small grid of a
+    /// round's new subtrees this way, each query bounded by its own
+    /// cached distance.
+    pub fn nearest_within(&self, key: usize, region: &Trr, bound: f64) -> Option<(usize, f64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let center_cell = self.cell_of(region.center());
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        let mut best: Option<(usize, f64)> = None;
+        for ring in 0..=max_ring {
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
+            let cap = best.map_or(bound, |(_, d)| d);
+            if ring_lb >= cap {
+                break;
+            }
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
+                };
+                let cap = best.map_or(bound, |(_, d)| d);
+                if base - 0.5 * (ext + region.diameter()) >= cap {
+                    return;
+                }
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if d < bound && best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((*k, d));
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// [`GridIndex::neighbors_within`], additionally skipping cells whose
+    /// noted cap ([`GridIndex::note_cap`]) rules every item out: a cell is
+    /// visited only if some item in it could lie *strictly closer* than
+    /// the cell's own cap. The planner's neighbor-takeover scan uses this
+    /// with per-entry cached distances as caps, so the global `bound`
+    /// (the largest cached distance anywhere) only sets the ring-walk
+    /// horizon while dense regions prune themselves locally.
+    pub fn neighbors_within_capped<F: FnMut(usize, f64)>(
+        &self,
+        key: usize,
+        region: &Trr,
+        bound: f64,
+        mut f: F,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let center_cell = self.cell_of(region.center());
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        for ring in 0..=max_ring {
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
+            if ring_lb > bound {
+                break;
+            }
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
+                };
+                let i = (cy * self.grid_w + cx) as usize;
+                let cell_bound = self.cell_caps[i].min(bound);
+                if base - 0.5 * (ext + region.diameter()) >= cell_bound {
+                    return;
+                }
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if d <= bound {
+                        f(*k, d);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Visits every item (other than `key`) whose exact region distance to
+    /// `region` is at most `bound`, calling `f(item_key, distance)`.
+    /// Ring expansion stops as soon as no unvisited cell can hold an item
+    /// within the bound, so tight bounds touch only a few cells.
+    pub fn neighbors_within<F: FnMut(usize, f64)>(
+        &self,
+        key: usize,
+        region: &Trr,
+        bound: f64,
+        mut f: F,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let center_cell = self.cell_of(region.center());
+        let max_ring = (center_cell.0 - self.cell_min.0)
+            .abs()
+            .max((self.cell_max.0 - center_cell.0).abs())
+            .max((center_cell.1 - self.cell_min.1).abs())
+            .max((self.cell_max.1 - center_cell.1).abs())
+            .max(0);
+        for ring in 0..=max_ring {
+            let base = ((ring - 1).max(0) as f64) * self.cell_size;
+            let ring_lb = base - 0.5 * (self.max_extent + region.diameter());
+            if ring_lb > bound {
+                break;
+            }
+            for_ring_cells(center_cell, ring, |cx, cy| {
+                let Some((items, ext)) = self.slot(cx, cy) else {
+                    return;
+                };
+                if base - 0.5 * (ext + region.diameter()) > bound {
+                    return;
+                }
+                for (k, t) in items {
+                    if *k == key {
+                        continue;
+                    }
+                    let d = region.distance(t);
+                    if d <= bound {
+                        f(*k, d);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Visits the cells at Chebyshev ring `r` around `center` (just the center
+/// for `r = 0`), inline — queries run per merge, so the ring walk must not
+/// allocate. The visit order (top/bottom rows interleaved by column, then
+/// the side columns) is part of the planner's deterministic tie-breaking:
+/// keep it stable.
+#[inline]
+fn for_ring_cells(center: (i64, i64), r: i64, mut f: impl FnMut(i64, i64)) {
+    let (cx, cy) = center;
+    if r == 0 {
+        f(cx, cy);
+        return;
+    }
+    for dx in -r..=r {
+        f(cx + dx, cy - r);
+        f(cx + dx, cy + r);
+    }
+    for dy in (-r + 1)..r {
+        f(cx - r, cy + dy);
+        f(cx + r, cy + dy);
+    }
+}

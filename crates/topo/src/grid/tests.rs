@@ -1,0 +1,118 @@
+//! Unit tests for [`GridIndex`] build/maintenance and ring-walk queries.
+
+use super::*;
+use astdme_geom::{Point, Trr};
+
+fn pts(coords: &[(f64, f64)]) -> Vec<(usize, Trr)> {
+    coords
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| (i, Trr::from_point(Point::new(x, y))))
+        .collect()
+}
+
+#[test]
+fn nearest_matches_bruteforce_on_random_points() {
+    // Deterministic pseudo-random layout.
+    let mut coords = Vec::new();
+    let mut s: u64 = 42;
+    for _ in 0..200 {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let x = ((s >> 16) % 10_000) as f64 / 10.0;
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let y = ((s >> 16) % 10_000) as f64 / 10.0;
+        coords.push((x, y));
+    }
+    let items = pts(&coords);
+    let idx = GridIndex::build(&items);
+    for (key, region) in &items {
+        let (nn, d) = idx.nearest(*key, region).unwrap();
+        // Brute force.
+        let (bf, bd) = items
+            .iter()
+            .filter(|(k, _)| k != key)
+            .map(|(k, t)| (*k, region.distance(t)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (d - bd).abs() < 1e-9,
+            "key {key}: grid found {nn}@{d}, brute force {bf}@{bd}"
+        );
+    }
+}
+
+#[test]
+fn nearest_none_for_single_item() {
+    let items = pts(&[(0.0, 0.0)]);
+    let idx = GridIndex::build(&items);
+    assert!(idx.nearest(0, &items[0].1).is_none());
+}
+
+#[test]
+fn insert_remove_roundtrip() {
+    let items = pts(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+    let mut idx = GridIndex::build(&items);
+    assert_eq!(idx.len(), 3);
+    assert!(idx.remove(1, &items[1].1));
+    assert!(!idx.remove(1, &items[1].1));
+    assert_eq!(idx.len(), 2);
+    let (nn, d) = idx.nearest(0, &items[0].1).unwrap();
+    assert_eq!(nn, 2);
+    assert_eq!(d, 20.0);
+    idx.insert(1, items[1].1);
+    let (nn, _) = idx.nearest(0, &items[0].1).unwrap();
+    assert_eq!(nn, 1);
+}
+
+#[test]
+fn regions_with_extent_use_region_distance() {
+    // A big region whose center is far but whose edge is near.
+    let a = (0usize, Trr::from_point(Point::new(0.0, 0.0)));
+    let big = (1usize, Trr::from_point(Point::new(100.0, 0.0)).dilate(95.0));
+    let far = (2usize, Trr::from_point(Point::new(30.0, 0.0)));
+    let items = vec![a, big, far];
+    let idx = GridIndex::build(&items);
+    let (nn, d) = idx.nearest(0, &items[0].1).unwrap();
+    assert_eq!(nn, 1, "the dilated region is nearer by set distance");
+    assert!((d - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn neighbors_within_finds_exactly_the_in_range_items() {
+    let items = pts(&[
+        (0.0, 0.0),
+        (10.0, 0.0),
+        (25.0, 0.0),
+        (100.0, 0.0),
+        (31.0, 0.0),
+    ]);
+    let idx = GridIndex::build(&items);
+    let mut found: Vec<(usize, f64)> = Vec::new();
+    idx.neighbors_within(0, &items[0].1, 30.0, |k, d| found.push((k, d)));
+    found.sort_by_key(|&(k, _)| k);
+    assert_eq!(found, vec![(1, 10.0), (2, 25.0)]);
+    // Zero bound: only exact-contact items; none here.
+    let mut none = 0;
+    idx.neighbors_within(3, &items[3].1, 1.0, |_, _| none += 1);
+    assert_eq!(none, 0);
+}
+
+#[test]
+fn clustered_points_found_across_cells() {
+    let items = pts(&[
+        (0.0, 0.0),
+        (1000.0, 1000.0),
+        (1000.5, 1000.5),
+        (2000.0, 0.0),
+    ]);
+    let idx = GridIndex::build(&items);
+    let (nn, _) = idx.nearest(1, &items[1].1).unwrap();
+    assert_eq!(nn, 2);
+    let (nn0, d0) = idx.nearest(0, &items[0].1).unwrap();
+    assert_eq!(nn0, 1);
+    assert!((d0 - 2000.0).abs() < 1e-9);
+}
